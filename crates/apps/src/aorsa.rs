@@ -1,0 +1,166 @@
+//! AORSA proxy — all-orders spectral full-wave fusion solver (§6.5,
+//! Figure 23).
+//!
+//! AORSA's hot path is the factorization of a dense *complex* linear system
+//! (ScaLAPACK originally; later an HPL variant modified for complex
+//! coefficients with Goto BLAS), followed by evaluation of the
+//! quasi-linear (QL) operator. The proxy simulates the blocked solve as
+//! panel-broadcast rounds carrying the full communication volume over the
+//! torus plus the exact complex-LU flop count, and the QL operator as an
+//! embarrassingly parallel pass over the solution — strong-scaled from 4k
+//! to 22.5k cores exactly as in Figure 23.
+
+use xtsim_machine::{ExecMode, MachineSpec, WorkPacket};
+use xtsim_mpi::{simulate, Message};
+
+use crate::common::{app_job, PhaseMarks};
+use xtsim_kernels::zlu::zlu_flops;
+
+/// Matrix order for a mode-conversion spatial mesh (3 field components per
+/// point). The paper does not state the Figure 23 base mesh explicitly; a
+/// 300×300 mesh reproduces its grind-time scale at the published 16.7
+/// TFLOPS solver rate, so the harness uses 300 (the 500×500 mesh of the
+/// text is also supported).
+pub fn matrix_order(grid: usize) -> usize {
+    grid * grid * 3
+}
+
+/// Panel rounds sampled by the simulated solve (communication volume is
+/// preserved; see DESIGN.md on round sampling).
+const ROUNDS: usize = 24;
+
+/// Grind-time breakdown in minutes (the units of Figure 23).
+#[derive(Debug, Clone, Copy)]
+pub struct AorsaResult {
+    /// Dense complex solve, minutes.
+    pub axb_minutes: f64,
+    /// QL operator evaluation, minutes.
+    pub ql_minutes: f64,
+    /// End-to-end grind time, minutes.
+    pub total_minutes: f64,
+    /// Solver TFLOPS achieved.
+    pub solver_tflops: f64,
+}
+
+/// Run the AORSA proxy: `grid`×`grid` spatial mesh on `cores` cores.
+pub fn aorsa(machine: &MachineSpec, mode: ExecMode, cores: usize, grid: usize) -> AorsaResult {
+    let n = matrix_order(grid);
+    let flops = zlu_flops(n);
+    let p = cores;
+    let solve_round = WorkPacket {
+        // The HPL-for-complex solver with Goto BLAS sustains close to DGEMM
+        // efficiency (paper: 78.4% of peak at 4,096 cores); the panel
+        // streaming term (0.33 B/flop) produces the XT3→XT4 gap of the
+        // figure (the paper's 10.56 → 11.8 TFLOPS ScaLAPACK progression).
+        flops: flops / p as f64 / ROUNDS as f64,
+        flop_efficiency: machine.processor.dgemm_efficiency * 0.95,
+        serial_dram_bytes: 0.33 * flops / p as f64 / ROUNDS as f64,
+        shared_dram_bytes: 16.0 * (n as f64 / ROUNDS as f64) * (n as f64 / p as f64),
+        random_refs: 0.0,
+    };
+    // Panel broadcast per round: N/ROUNDS columns × N rows × 16 bytes,
+    // spread over the process columns (~√p wide grid ⇒ each bcast carries
+    // the panel to the rest of its row/column group).
+    let panel_bytes = ((n as f64 / ROUNDS as f64) * n as f64 * 16.0 / (p as f64).sqrt()) as u64;
+    // QL operator: embarrassingly parallel evaluation over the fields,
+    // O(N^1.5) total work (calibrated so the QL bar is the visible fraction
+    // of the total that Figure 23 shows).
+    let ql = WorkPacket {
+        flops: 28_500_000.0 * n as f64 * (n as f64).sqrt() / p as f64,
+        flop_efficiency: machine.app.sustained_fraction * 2.0,
+        serial_dram_bytes: 0.0,
+        shared_dram_bytes: 64.0 * n as f64 / p as f64,
+        random_refs: 0.0,
+    };
+
+    let marks = PhaseMarks::new();
+    let marks2 = marks.clone();
+    let cfg = app_job(machine, mode, p);
+    simulate(35, cfg, move |mpi| {
+        let marks = marks2.clone();
+        async move {
+            // --- Ax = b ---
+            for r in 0..ROUNDS {
+                let root = (r * 97) % mpi.size();
+                let payload =
+                    (mpi.comm().rank() == root).then(|| Message::of_bytes(panel_bytes));
+                mpi.comm().bcast(root, payload).await;
+                mpi.compute(solve_round).await;
+            }
+            marks.mark(0, mpi.now().as_secs_f64());
+            // --- QL operator ---
+            mpi.compute(ql).await;
+            mpi.comm().barrier().await;
+            marks.mark(1, mpi.now().as_secs_f64());
+        }
+    });
+    let axb = marks.phase(0);
+    let ql_t = marks.phase(1);
+    AorsaResult {
+        axb_minutes: axb / 60.0,
+        ql_minutes: ql_t / 60.0,
+        total_minutes: (axb + ql_t) / 60.0,
+        solver_tflops: flops / axb / 1e12,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtsim_machine::presets;
+
+    #[test]
+    fn solver_efficiency_near_paper_at_4k() {
+        // Paper: 16.7 TFLOPS on 4,096 XT4 cores = 78.4% of peak.
+        let r = aorsa(&presets::xt4(), ExecMode::VN, 4096, 300);
+        let peak_tf = 4096.0 * presets::xt4().processor.core_peak_flops() / 1e12;
+        let eff = r.solver_tflops / peak_tf;
+        assert!(eff > 0.55 && eff < 0.90, "efficiency {eff} ({r:?})");
+    }
+
+    #[test]
+    fn strong_scaling_ordering_of_figure_23() {
+        // 4k XT3 > 4k XT4 > 8k XT4 > 16k > 22.5k in total grind time.
+        let xt3_4k = aorsa(&presets::xt3_dual(), ExecMode::VN, 4096, 300);
+        let xt4_4k = aorsa(&presets::xt4(), ExecMode::VN, 4096, 300);
+        let xt4_8k = aorsa(&presets::xt4(), ExecMode::VN, 8192, 300);
+        let comb_16k = aorsa(&presets::xt3_xt4_combined(), ExecMode::VN, 16_384, 300);
+        let comb_22k = aorsa(&presets::xt3_xt4_combined(), ExecMode::VN, 22_500, 300);
+        assert!(xt3_4k.total_minutes > xt4_4k.total_minutes);
+        assert!(xt4_4k.total_minutes > xt4_8k.total_minutes);
+        assert!(xt4_8k.total_minutes > comb_16k.total_minutes);
+        assert!(comb_16k.total_minutes > comb_22k.total_minutes);
+    }
+
+    #[test]
+    fn grind_times_in_figure_23_band() {
+        // Figure 23 y-axis runs 0–100 minutes; 4k runs sit high, 22.5k low.
+        let xt4_4k = aorsa(&presets::xt4(), ExecMode::VN, 4096, 300);
+        assert!(
+            xt4_4k.total_minutes > 30.0 && xt4_4k.total_minutes < 110.0,
+            "{xt4_4k:?}"
+        );
+        let comb = aorsa(&presets::xt3_xt4_combined(), ExecMode::VN, 22_500, 300);
+        assert!(comb.total_minutes < 40.0, "{comb:?}");
+    }
+
+    #[test]
+    fn efficiency_drops_at_scale() {
+        // Paper: 78.4% of peak at 4k but 65% at 22.5k for the same problem.
+        let small = aorsa(&presets::xt4(), ExecMode::VN, 4096, 300);
+        let peak_small = 4096.0 * presets::xt4().processor.core_peak_flops() / 1e12;
+        let big = aorsa(&presets::xt3_xt4_combined(), ExecMode::VN, 22_500, 300);
+        let peak_big = 22_500.0 * presets::xt3_xt4_combined().processor.core_peak_flops() / 1e12;
+        assert!(small.solver_tflops / peak_small > big.solver_tflops / peak_big);
+    }
+
+    #[test]
+    fn larger_grid_cannot_run_small_but_scales_better() {
+        // The 500×500 grid (N=750k) improves large-core efficiency (paper:
+        // 74.8% of peak at 22.5k cores).
+        let big_grid = aorsa(&presets::xt3_xt4_combined(), ExecMode::VN, 22_500, 500);
+        let small_grid = aorsa(&presets::xt3_xt4_combined(), ExecMode::VN, 22_500, 300);
+        let peak = 22_500.0 * presets::xt3_xt4_combined().processor.core_peak_flops() / 1e12;
+        assert!(big_grid.solver_tflops / peak > small_grid.solver_tflops / peak);
+    }
+}

@@ -1,0 +1,315 @@
+//! CAM proxy — the Community Atmosphere Model, FV dycore, "D-grid"
+//! benchmark (§6.1, Figures 14–16).
+//!
+//! Phase structure per timestep (matching the paper's description):
+//!
+//! 1. dynamics half A on the (lat, lon) decomposition: compute + latitude
+//!    halo exchange;
+//! 2. remap to the (lat, vertical) decomposition: `alltoallv` within each
+//!    latitude row group;
+//! 3. dynamics half B + halo;
+//! 4. remap back;
+//! 5. physics: column compute (≈ half the dynamics cost), a load-balancing
+//!    `alltoallv`, and a small land-model `alltoallv`.
+//!
+//! The 1-D latitude decomposition caps at 120 tasks (≥ 3 latitudes each);
+//! the 2-D (lat × vertical) decomposition caps at 120 × 8 = 960.
+
+use xtsim_machine::{ExecMode, MachineSpec};
+use xtsim_mpi::{simulate_profiled, JobProfile, Message};
+
+use crate::common::{app_job, BalancedWork, PhaseMarks, SECS_PER_YEAR};
+
+/// D-grid dimensions (361 × 576 horizontal, 26 levels).
+pub const NLAT: usize = 361;
+/// Longitudes.
+pub const NLON: usize = 576;
+/// Vertical levels.
+pub const NLEV: usize = 26;
+/// Model seconds advanced per timestep.
+pub const DT_SECS: f64 = 1800.0;
+/// Prognostic variables carried per point.
+pub const NVARS: usize = 5;
+
+/// Calibrated dynamics cost, flops per grid point per step.
+pub const DYN_FLOPS_PER_PT: f64 = 39_000.0;
+/// Physics is approximately half the dynamics cost (paper, Figure 16).
+pub const PHYS_FLOPS_PER_PT: f64 = 19_500.0;
+/// Effective DRAM bytes per flop (application balance constant; drives the
+/// DDR-400 → DDR2-667 sensitivity the paper reports for CAM).
+pub const MEM_INTENSITY: f64 = 4.8;
+/// Fraction of that traffic contending on the shared controller in VN mode.
+pub const CONTENDED_FRACTION: f64 = 0.25;
+/// Flop-phase efficiency scale over the machine's sustained fraction.
+pub const EFF_SCALE: f64 = 1.45;
+
+/// A feasible decomposition: `plat` latitude bands × `pz` vertical/longitude
+/// subdivisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CamDecomp {
+    /// Latitude-direction task count (≤ 120).
+    pub plat: usize,
+    /// Secondary-direction task count (1 = pure 1-D; ≤ 8).
+    pub pz: usize,
+}
+
+/// Choose the decomposition for `tasks` MPI tasks, or `None` if infeasible
+/// (the paper's constraint set: ≥3 latitudes and ≥3 levels per task).
+pub fn decompose(tasks: usize) -> Option<CamDecomp> {
+    if tasks == 0 || tasks > 960 {
+        return None;
+    }
+    if tasks <= 120 {
+        return Some(CamDecomp { plat: tasks, pz: 1 });
+    }
+    for pz in 2..=8usize {
+        if tasks.is_multiple_of(pz) && tasks / pz <= 120 {
+            return Some(CamDecomp {
+                plat: tasks / pz,
+                pz,
+            });
+        }
+    }
+    None
+}
+
+/// Result of a CAM benchmark run.
+#[derive(Debug, Clone, Copy)]
+pub struct CamResult {
+    /// Throughput, simulated years per wall-clock day.
+    pub years_per_day: f64,
+    /// Dynamics cost, wall seconds per simulated day.
+    pub dynamics_secs_per_day: f64,
+    /// Physics cost, wall seconds per simulated day.
+    pub physics_secs_per_day: f64,
+    /// Fraction of total rank-time spent in MPI (profiler; the paper's
+    /// §6.1 attributes the SN/VN gap to MPI_Alltoallv via this kind of
+    /// accounting).
+    pub mpi_fraction: f64,
+}
+
+/// Run the D-grid benchmark with `tasks` MPI tasks on `machine` in `mode`,
+/// with `threads` OpenMP threads per task (1 on Cray systems — the paper
+/// notes OpenMP was not yet available on the XT4).
+pub fn cam(machine: &MachineSpec, mode: ExecMode, tasks: usize, threads: usize) -> Option<CamResult> {
+    let decomp = decompose(tasks)?;
+    let steps = 2usize;
+    let points = NLAT * NLON * NLEV;
+    let pts_per_task = points as f64 / tasks as f64;
+
+    // Per-task compute rate: OpenMP threads multiply the core (85% parallel
+    // efficiency); vector machines lose efficiency once the per-task work
+    // no longer fills the pipes (paper: below ~128 at 960 tasks).
+    let mut vec_factor = 1.0;
+    if let Some(v) = &machine.app.vector {
+        let vec_len = (NLAT * NLON) as f64 / tasks as f64 * 0.5;
+        if vec_len < v.min_efficient_length {
+            vec_factor = (vec_len / v.min_efficient_length).max(v.short_vector_fraction);
+        }
+    }
+    let thread_speedup = 1.0 + 0.85 * (threads.saturating_sub(1)) as f64;
+
+    let dyn_half = BalancedWork::new(
+        machine,
+        DYN_FLOPS_PER_PT * pts_per_task / 2.0 / thread_speedup,
+        MEM_INTENSITY,
+        CONTENDED_FRACTION,
+        EFF_SCALE,
+    )
+    .scale_rate(vec_factor);
+    let phys = BalancedWork::new(
+        machine,
+        PHYS_FLOPS_PER_PT * pts_per_task / thread_speedup,
+        MEM_INTENSITY,
+        CONTENDED_FRACTION,
+        EFF_SCALE,
+    )
+    .scale_rate(vec_factor);
+    // Latitude halo: ghost width 3, full local longitude strip, all levels.
+    let lon_local = NLON / decomp.pz.max(1);
+    let halo_bytes = (3 * lon_local * NLEV * NVARS * 8) as u64;
+    // Remap: everything but your diagonal share crosses the row group.
+    let local_bytes = (pts_per_task * NVARS as f64 * 8.0) as u64;
+    let remap_to_each = if decomp.pz > 1 {
+        local_bytes / decomp.pz as u64
+    } else {
+        0
+    };
+    // Physics load balancing + land model coupling (paper: the dominant
+    // MPI_Alltoallv cost in the physics at scale).
+    let lb_to_each = (0.3 * local_bytes as f64 / tasks as f64) as u64;
+
+    let marks = PhaseMarks::new();
+    let marks2 = marks.clone();
+    let cfg = app_job(machine, mode, tasks);
+    let plat = decomp.plat;
+    let pz = decomp.pz;
+    let (_out, profiles) = simulate_profiled(31, cfg, move |mpi| {
+        let marks = marks2.clone();
+        async move {
+            let me = mpi.rank();
+            let (lat_idx, z_idx) = (me / pz, me % pz);
+            // Row group: the pz tasks sharing this latitude band.
+            let row: Vec<usize> = (0..pz).map(|z| lat_idx * pz + z).collect();
+            let row_comm = mpi.comm().sub(&row).expect("member of own row");
+            let up = (lat_idx + 1 < plat).then(|| (lat_idx + 1) * pz + z_idx);
+            let down = (lat_idx > 0).then(|| (lat_idx - 1) * pz + z_idx);
+            let mut phase = 0usize;
+            for step in 0..steps {
+                // --- dynamics ---
+                for half in 0..2u64 {
+                    dyn_half.run(&mpi).await;
+                    let tag = 100 + step as u64 * 4 + half * 2;
+                    let mut pending = Vec::new();
+                    if let Some(up) = up {
+                        pending.push(mpi.isend(up, tag, Message::of_bytes(halo_bytes)));
+                    }
+                    if let Some(down) = down {
+                        pending.push(mpi.isend(down, tag + 1, Message::of_bytes(halo_bytes)));
+                    }
+                    if let Some(down) = down {
+                        mpi.recv(Some(down), Some(tag)).await;
+                    }
+                    if let Some(up) = up {
+                        mpi.recv(Some(up), Some(tag + 1)).await;
+                    }
+                    for p in pending {
+                        p.await;
+                    }
+                    // Remap between the two 2-D decompositions.
+                    if pz > 1 {
+                        let sizes: Vec<u64> = (0..pz)
+                            .map(|z| if z == z_idx { 0 } else { remap_to_each })
+                            .collect();
+                        row_comm.alltoallv_bytes(&sizes).await;
+                    }
+                }
+                marks.mark(phase, mpi.now().as_secs_f64());
+                phase += 1;
+                // --- physics ---
+                phys.run(&mpi).await;
+                let lb: Vec<u64> = (0..tasks)
+                    .map(|t| if t == me { 0 } else { lb_to_each })
+                    .collect();
+                mpi.comm().alltoallv_bytes(&lb).await;
+                // Land-model coupling: small alltoallv.
+                let land: Vec<u64> = (0..tasks)
+                    .map(|t| if t == me { 0 } else { lb_to_each / 8 })
+                    .collect();
+                mpi.comm().alltoallv_bytes(&land).await;
+                marks.mark(phase, mpi.now().as_secs_f64());
+                phase += 1;
+            }
+        }
+    });
+    let job = JobProfile::from_ranks(&profiles);
+    let bounds = marks.boundaries();
+    let wall_per_step = bounds.last().copied().unwrap_or(0.0) / steps as f64;
+    // Per-phase times averaged over steps.
+    let mut dyn_t = 0.0;
+    let mut phys_t = 0.0;
+    for s in 0..steps {
+        dyn_t += marks.phase(2 * s);
+        phys_t += marks.phase(2 * s + 1);
+    }
+    let steps_per_sim_day = 86_400.0 / DT_SECS;
+    Some(CamResult {
+        years_per_day: DT_SECS * 86_400.0 / (wall_per_step * SECS_PER_YEAR),
+        dynamics_secs_per_day: dyn_t / steps as f64 * steps_per_sim_day,
+        physics_secs_per_day: phys_t / steps as f64 * steps_per_sim_day,
+        mpi_fraction: {
+            let t = job.total.total_secs();
+            if t > 0.0 {
+                (job.total.p2p_secs + job.total.collective_secs) / t
+            } else {
+                0.0
+            }
+        },
+    })
+}
+
+/// Figure 15 helper: best throughput for a processor count on a platform,
+/// optimizing over OpenMP thread counts the platform supports.
+pub fn cam_best(machine: &MachineSpec, mode: ExecMode, processors: usize) -> Option<CamResult> {
+    let mut best: Option<CamResult> = None;
+    let max_t = machine.app.smp_threads_per_task.max(1) as usize;
+    let mut t = 1;
+    while t <= max_t {
+        if processors.is_multiple_of(t) {
+            if let Some(r) = cam(machine, mode, processors / t, t) {
+                if best.is_none_or(|b| r.years_per_day > b.years_per_day) {
+                    best = Some(r);
+                }
+            }
+        }
+        t *= 2;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtsim_machine::presets;
+
+    #[test]
+    fn decomposition_respects_paper_limits() {
+        assert_eq!(decompose(64), Some(CamDecomp { plat: 64, pz: 1 }));
+        assert_eq!(decompose(120), Some(CamDecomp { plat: 120, pz: 1 }));
+        assert_eq!(decompose(240), Some(CamDecomp { plat: 120, pz: 2 }));
+        assert_eq!(decompose(960), Some(CamDecomp { plat: 120, pz: 8 }));
+        assert_eq!(decompose(961), None);
+        assert_eq!(decompose(977), None); // prime > 120: no legal split
+    }
+
+    #[test]
+    fn cam_scales_with_tasks() {
+        let m = presets::xt4();
+        let small = cam(&m, ExecMode::VN, 32, 1).unwrap();
+        let large = cam(&m, ExecMode::VN, 256, 1).unwrap();
+        assert!(large.years_per_day > 4.0 * small.years_per_day);
+    }
+
+    #[test]
+    fn xt4_beats_xt3_dual_beats_single() {
+        // Figure 14 ordering at a fixed task count.
+        let t = 96;
+        let xt3 = cam(&presets::xt3_single(), ExecMode::SN, t, 1).unwrap();
+        let xt3d = cam(&presets::xt3_dual(), ExecMode::VN, t, 1).unwrap();
+        let xt4 = cam(&presets::xt4(), ExecMode::VN, t, 1).unwrap();
+        assert!(xt4.years_per_day > xt3d.years_per_day, "{xt4:?} vs {xt3d:?}");
+        assert!(xt3d.years_per_day > xt3.years_per_day, "{xt3d:?} vs {xt3:?}");
+    }
+
+    #[test]
+    fn sn_beats_vn_at_same_task_count() {
+        // Paper: ~10% SN advantage at the same MPI task count.
+        let t = 240;
+        let sn = cam(&presets::xt4(), ExecMode::SN, t, 1).unwrap();
+        let vn = cam(&presets::xt4(), ExecMode::VN, t, 1).unwrap();
+        assert!(sn.years_per_day > vn.years_per_day, "{sn:?} vs {vn:?}");
+        assert!(
+            sn.years_per_day < 1.4 * vn.years_per_day,
+            "SN advantage implausibly large: {sn:?} vs {vn:?}"
+        );
+    }
+
+    #[test]
+    fn dynamics_costs_about_twice_physics() {
+        // Figure 16: dynamics ≈ 2× physics for this dycore and problem.
+        let r = cam(&presets::xt4(), ExecMode::SN, 120, 1).unwrap();
+        let ratio = r.dynamics_secs_per_day / r.physics_secs_per_day;
+        assert!(ratio > 1.5 && ratio < 2.8, "ratio {ratio}");
+    }
+
+    #[test]
+    fn openmp_helps_smp_platforms() {
+        let p690 = presets::p690();
+        let with = cam_best(&p690, ExecMode::SN, 512).unwrap();
+        let without = cam(&p690, ExecMode::SN, 512, 1);
+        // 512 tasks needs pz>4… either infeasible or slower than threading.
+        if let Some(w) = without {
+            assert!(with.years_per_day >= w.years_per_day);
+        }
+    }
+}

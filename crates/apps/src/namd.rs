@@ -1,0 +1,229 @@
+//! NAMD proxy — biomolecular MD (§6.3, Figures 20–21).
+//!
+//! Per-step structure of a spatially-decomposed MD code with PME
+//! electrostatics:
+//!
+//! * short-range forces: cell-list pair interactions over the rank's patch
+//!   (compute scales 1/p) — the real kernel lives in
+//!   [`xtsim_kernels::md`];
+//! * neighbour exchange: positions/forces with the 6 face neighbours of the
+//!   patch grid (surface ∝ (atoms/p)^⅔);
+//! * PME long-range part: a 3-D FFT on a charge grid whose parallelism is
+//!   capped by its plane count — this is what limits the 1M-atom system's
+//!   scaling beyond 8,192 cores (paper: "the scaling for 1M atom system is
+//!   restricted by the size of the underlying FFT grid computations").
+
+use xtsim_machine::{ExecMode, MachineSpec, WorkPacket};
+use xtsim_mpi::{simulate, Message};
+
+use crate::common::{app_job, grid_3d, BalancedWork, PhaseMarks};
+
+/// Calibrated force-field work, flops per atom per step (short-range +
+/// bonded + integration, multiple-timestepping averaged).
+pub const FLOPS_PER_ATOM: f64 = 17_000.0;
+/// Effective DRAM bytes per flop (MD is cache-friendly: the paper sees only
+/// ~5% XT3→XT4 gain and ≤10% SN→VN impact).
+pub const MEM_INTENSITY: f64 = 1.25;
+/// Contended fraction of that traffic in VN mode.
+pub const CONTENDED_FRACTION: f64 = 0.2;
+/// Bytes exchanged per surface atom with each face neighbour.
+pub const BYTES_PER_SURFACE_ATOM: f64 = 72.0;
+
+/// Benchmark systems from the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// ~1-million-atom system (PME grid 128³).
+    Atoms1M,
+    /// ~3-million-atom system (PME grid 192³).
+    Atoms3M,
+}
+
+impl System {
+    /// Atom count.
+    pub fn atoms(self) -> f64 {
+        match self {
+            System::Atoms1M => 1.0e6,
+            System::Atoms3M => 3.0e6,
+        }
+    }
+
+    /// PME charge-grid edge length.
+    pub fn pme_grid(self) -> usize {
+        match self {
+            System::Atoms1M => 128,
+            System::Atoms3M => 192,
+        }
+    }
+
+    /// Label used in figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            System::Atoms1M => "1M",
+            System::Atoms3M => "3M",
+        }
+    }
+}
+
+/// Result: seconds of wall time per MD step.
+#[derive(Debug, Clone, Copy)]
+pub struct NamdResult {
+    /// Wall seconds per simulation timestep.
+    pub secs_per_step: f64,
+    /// Fraction of the step spent in the PME (FFT) part.
+    pub pme_fraction: f64,
+}
+
+/// Run `system` on `tasks` MPI tasks.
+pub fn namd(machine: &MachineSpec, mode: ExecMode, tasks: usize, system: System) -> NamdResult {
+    let atoms_per = system.atoms() / tasks as f64;
+    // MD kernels are cache-friendly: higher flop-phase efficiency, low
+    // memory intensity.
+    let force = BalancedWork::new(
+        machine,
+        FLOPS_PER_ATOM * atoms_per,
+        MEM_INTENSITY,
+        CONTENDED_FRACTION,
+        2.0,
+    );
+    // Patch surface: (atoms/p)^(2/3) atoms per face.
+    let surface_atoms = atoms_per.powf(2.0 / 3.0);
+    let halo_bytes = (BYTES_PER_SURFACE_ATOM * surface_atoms) as u64;
+    // PME: parallelism capped at one grid plane per rank.
+    let grid = system.pme_grid();
+    let pme_ranks = tasks.min(grid);
+    let grid_pts = (grid * grid * grid) as f64;
+    let pme_flops = 2.0 * 5.0 * grid_pts * (grid_pts.log2()); // fwd+inv FFT
+    let pme_compute = WorkPacket {
+        flops: pme_flops / pme_ranks as f64,
+        flop_efficiency: 0.35,
+        serial_dram_bytes: 16.0 * grid_pts / pme_ranks as f64,
+        shared_dram_bytes: 0.0,
+        random_refs: 0.0,
+    };
+    // Two transposes of the charge grid across the PME group.
+    let pme_pair_bytes = (16.0 * grid_pts / (pme_ranks as f64 * pme_ranks as f64)) as u64;
+
+    let marks = PhaseMarks::new();
+    let marks2 = marks.clone();
+    let cfg = app_job(machine, mode, tasks);
+    let (gx, gy, gz) = grid_3d(tasks);
+    simulate(33, cfg, move |mpi| {
+        let marks = marks2.clone();
+        async move {
+            let me = mpi.rank();
+            let (x, y, z) = (me % gx, (me / gx) % gy, me / (gx * gy));
+            let wrap = |v: usize, d: usize, up: bool| -> usize {
+                if up {
+                    (v + 1) % d
+                } else {
+                    (v + d - 1) % d
+                }
+            };
+            let nb = |x: usize, y: usize, z: usize| x + y * gx + z * gx * gy;
+            let neighbours = [
+                nb(wrap(x, gx, true), y, z),
+                nb(wrap(x, gx, false), y, z),
+                nb(x, wrap(y, gy, true), z),
+                nb(x, wrap(y, gy, false), z),
+                nb(x, y, wrap(z, gz, true)),
+                nb(x, y, wrap(z, gz, false)),
+            ];
+            // --- position exchange + short-range forces ---
+            let mut sends = Vec::new();
+            for (k, &n) in neighbours.iter().enumerate() {
+                if n != me {
+                    sends.push(mpi.isend(n, 400 + k as u64, Message::of_bytes(halo_bytes)));
+                }
+            }
+            let opposite = [1usize, 0, 3, 2, 5, 4];
+            for (k, &n) in neighbours.iter().enumerate() {
+                if n != me {
+                    mpi.recv(Some(n), Some(400 + opposite[k] as u64)).await;
+                }
+            }
+            for s in sends {
+                s.await;
+            }
+            force.run(&mpi).await;
+            marks.mark(0, mpi.now().as_secs_f64());
+            // --- PME long-range part on the PME sub-communicator ---
+            let pme_group: Vec<usize> = (0..pme_ranks).collect();
+            let pme_comm = mpi.comm().sub(&pme_group);
+            if let Some(pme) = pme_comm {
+                for _ in 0..2 {
+                    let msgs = (0..pme.size())
+                        .map(|_| Message::of_bytes(pme_pair_bytes))
+                        .collect();
+                    pme.alltoall(msgs).await;
+                }
+                mpi.compute(pme_compute).await;
+            }
+            // Everyone waits for the PME result (broadcast of grid forces).
+            mpi.comm().barrier().await;
+            marks.mark(1, mpi.now().as_secs_f64());
+        }
+    });
+    let force_t = marks.phase(0);
+    let pme_t = marks.phase(1);
+    let total = force_t + pme_t;
+    NamdResult {
+        secs_per_step: total,
+        pme_fraction: pme_t / total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtsim_machine::presets;
+
+    #[test]
+    fn one_m_atoms_hits_headline_at_8k() {
+        // Paper: ~9 ms/step for 1M atoms at 8,192 VN cores.
+        let r = namd(&presets::xt4(), ExecMode::VN, 8192, System::Atoms1M);
+        assert!(
+            r.secs_per_step > 4e-3 && r.secs_per_step < 18e-3,
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn three_m_atoms_at_12k() {
+        // Paper: ~12 ms/step for 3M atoms at 12,000 XT4 cores.
+        let r = namd(&presets::xt4(), ExecMode::VN, 12_000, System::Atoms3M);
+        assert!(
+            r.secs_per_step > 6e-3 && r.secs_per_step < 25e-3,
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn one_m_scaling_flattens_beyond_fft_limit() {
+        // The 1M system stops scaling once the PME grid is exhausted.
+        let m = presets::xt4();
+        let r2k = namd(&m, ExecMode::VN, 2048, System::Atoms1M);
+        let r8k = namd(&m, ExecMode::VN, 8192, System::Atoms1M);
+        let speedup = r2k.secs_per_step / r8k.secs_per_step;
+        assert!(speedup < 3.0, "unexpectedly ideal: {speedup}");
+        assert!(r8k.pme_fraction > r2k.pme_fraction);
+    }
+
+    #[test]
+    fn xt4_about_5_percent_faster_than_xt3() {
+        // Paper: "order of 5% performance gain over the XT3 system".
+        let xt3 = namd(&presets::xt3_dual(), ExecMode::VN, 1024, System::Atoms1M);
+        let xt4 = namd(&presets::xt4(), ExecMode::VN, 1024, System::Atoms1M);
+        let gain = xt3.secs_per_step / xt4.secs_per_step;
+        assert!(gain > 1.0 && gain < 1.35, "gain {gain}");
+    }
+
+    #[test]
+    fn sn_vn_gap_small_at_moderate_scale() {
+        // Paper Figure 21: order of 10% or less from using the second core.
+        let m = presets::xt4();
+        let sn = namd(&m, ExecMode::SN, 512, System::Atoms1M);
+        let vn = namd(&m, ExecMode::VN, 512, System::Atoms1M);
+        let gap = vn.secs_per_step / sn.secs_per_step;
+        assert!(gap > 0.98 && gap < 1.35, "gap {gap}");
+    }
+}

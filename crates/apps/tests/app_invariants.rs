@@ -1,0 +1,102 @@
+//! Cross-app invariant tests at reduced scale.
+
+use xtsim_apps::{aorsa, cam, namd, pop, s3d};
+use xtsim_machine::{presets, ExecMode};
+
+#[test]
+fn cam_throughput_monotone_in_tasks() {
+    let m = presets::xt4();
+    let mut last = 0.0;
+    for t in [32usize, 64, 120, 240] {
+        let r = cam::cam(&m, ExecMode::VN, t, 1).unwrap();
+        assert!(r.years_per_day > last, "t={t}: {r:?}");
+        last = r.years_per_day;
+    }
+}
+
+#[test]
+fn cam_phase_times_sum_to_throughput() {
+    let m = presets::xt4();
+    let r = cam::cam(&m, ExecMode::SN, 64, 1).unwrap();
+    // years/day and phase costs are two views of the same wall time.
+    let secs_per_day = r.dynamics_secs_per_day + r.physics_secs_per_day;
+    let implied_ypd = 86_400.0 / secs_per_day / 365.25;
+    assert!(
+        (implied_ypd - r.years_per_day).abs() < 0.02 * r.years_per_day,
+        "{implied_ypd} vs {}",
+        r.years_per_day
+    );
+}
+
+#[test]
+fn pop_phase_times_sum_to_throughput() {
+    let m = presets::xt4();
+    let r = pop::pop(&m, ExecMode::SN, 512, pop::Solver::StandardCg).unwrap();
+    let secs_per_day = r.baroclinic_secs_per_day + r.barotropic_secs_per_day;
+    let implied_ypd = 86_400.0 / secs_per_day / 365.25;
+    assert!(
+        (implied_ypd - r.years_per_day).abs() < 0.02 * r.years_per_day,
+        "{implied_ypd} vs {}",
+        r.years_per_day
+    );
+}
+
+#[test]
+fn namd_3m_costs_about_3x_1m_at_fixed_tasks() {
+    let m = presets::xt4();
+    let t = 256;
+    let one = namd::namd(&m, ExecMode::VN, t, namd::System::Atoms1M);
+    let three = namd::namd(&m, ExecMode::VN, t, namd::System::Atoms3M);
+    let ratio = three.secs_per_step / one.secs_per_step;
+    assert!(ratio > 2.0 && ratio < 3.5, "{ratio}");
+}
+
+#[test]
+fn s3d_cost_metric_matches_step_time() {
+    let m = presets::xt4();
+    let r = s3d::s3d(&m, ExecMode::VN, 27);
+    let implied = r.secs_per_step / 125_000.0 * 1e6;
+    assert!((implied - r.cost_us_per_point).abs() < 1e-9);
+}
+
+#[test]
+fn aorsa_grind_decomposes() {
+    let r = aorsa::aorsa(&presets::xt4(), ExecMode::VN, 2048, 300);
+    assert!((r.axb_minutes + r.ql_minutes - r.total_minutes).abs() < 1e-9);
+    assert!(r.axb_minutes > r.ql_minutes, "solve dominates: {r:?}");
+}
+
+#[test]
+fn aorsa_more_cores_never_slower() {
+    let mut last = f64::INFINITY;
+    for cores in [1024usize, 2048, 4096] {
+        let r = aorsa::aorsa(&presets::xt4(), ExecMode::VN, cores, 300);
+        assert!(r.total_minutes < last, "{cores}: {r:?}");
+        last = r.total_minutes;
+    }
+}
+
+#[test]
+fn pop_infeasible_configurations_return_none() {
+    // More tasks than grid columns is unrunnable.
+    assert!(pop::pop(&presets::xt4(), ExecMode::VN, 0, pop::Solver::StandardCg).is_none());
+    assert!(cam::cam(&presets::xt4(), ExecMode::VN, 961, 1).is_none());
+    assert!(cam::decompose(0).is_none());
+}
+
+#[test]
+fn cam_vn_gap_is_mpi_driven_at_scale() {
+    // Paper §6.1: the SN advantage at large task counts is "primarily due
+    // to degraded MPI performance when running in VN mode" — the profiler
+    // must show a larger MPI share in VN mode.
+    let m = presets::xt4();
+    let sn = cam::cam(&m, ExecMode::SN, 480, 1).unwrap();
+    let vn = cam::cam(&m, ExecMode::VN, 480, 1).unwrap();
+    assert!(
+        vn.mpi_fraction > sn.mpi_fraction,
+        "VN {} vs SN {}",
+        vn.mpi_fraction,
+        sn.mpi_fraction
+    );
+    assert!(vn.mpi_fraction < 0.6, "sanity: {}", vn.mpi_fraction);
+}

@@ -1,0 +1,185 @@
+//! Criterion wall-clock benches over the real kernels — the host-machine
+//! counterpart of the paper's node-local measurements. Each group names the
+//! figure whose kernel it exercises.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+
+use xtsim::kernels::{cg, complex::C64, dgemm, fft, lu, md, ptrans, random_access, stencil, stream, zlu};
+
+fn rng() -> rand_chacha::ChaCha8Rng {
+    rand_chacha::ChaCha8Rng::seed_from_u64(42)
+}
+
+/// Figure 4 kernel: complex FFT.
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig04_fft");
+    for &n in &[1usize << 12, 1 << 16] {
+        let mut r = rng();
+        let signal: Vec<C64> = (0..n)
+            .map(|_| C64::new(r.gen_range(-1.0..1.0), r.gen_range(-1.0..1.0)))
+            .collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &signal, |b, s| {
+            b.iter(|| {
+                let mut data = s.clone();
+                fft::fft(&mut data);
+                data[0]
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Figure 5 kernel: DGEMM.
+fn bench_dgemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig05_dgemm");
+    g.sample_size(10);
+    for &n in &[128usize, 384] {
+        let mut r = rng();
+        let a: Vec<f64> = (0..n * n).map(|_| r.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> = (0..n * n).map(|_| r.gen_range(-1.0..1.0)).collect();
+        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| {
+                let mut cm = vec![0.0; n * n];
+                dgemm::dgemm(n, &a, &b, &mut cm);
+                cm[0]
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Figure 6 kernel: RandomAccess/GUPS.
+fn bench_gups(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig06_randomaccess");
+    let size = 1usize << 20;
+    let updates = 1u64 << 18;
+    g.throughput(Throughput::Elements(updates));
+    g.bench_function("gups_1Mi_table", |b| {
+        b.iter(|| {
+            let mut t = random_access::GupsTable::new(size);
+            t.run(12345, updates)
+        });
+    });
+    g.finish();
+}
+
+/// Figure 7 kernel: STREAM triad.
+fn bench_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig07_stream");
+    let n = 4_000_000usize;
+    let bsrc = vec![1.5f64; n];
+    let csrc = vec![2.5f64; n];
+    let mut a = vec![0.0f64; n];
+    g.throughput(Throughput::Bytes((24 * n) as u64));
+    g.bench_function("triad_4M", |b| {
+        b.iter(|| {
+            stream::triad(3.0, &bsrc, &csrc, &mut a);
+            a[n - 1]
+        });
+    });
+    g.finish();
+}
+
+/// Figure 8 kernel: LU/HPL.
+fn bench_lu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08_hpl_lu");
+    g.sample_size(10);
+    for &n in &[96usize, 256] {
+        let mut r = rng();
+        let a: Vec<f64> = (0..n * n).map(|_| r.gen_range(-1.0..1.0)).collect();
+        g.throughput(Throughput::Elements((2 * n * n * n / 3) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| lu::lu_factor(n, &a).expect("nonsingular").lu[0]);
+        });
+    }
+    g.finish();
+}
+
+/// Figure 10 kernel: transpose.
+fn bench_ptrans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_ptrans");
+    let n = 1024usize;
+    let mut r = rng();
+    let a: Vec<f64> = (0..n * n).map(|_| r.gen_range(-1.0..1.0)).collect();
+    g.throughput(Throughput::Bytes((8 * n * n) as u64));
+    g.bench_function("ptrans_1024", |b| {
+        b.iter(|| ptrans::ptrans_update(n, &a)[0]);
+    });
+    g.finish();
+}
+
+/// Figures 18–19 kernel: CG vs Chronopoulos–Gear.
+fn bench_cg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig19_barotropic_cg");
+    g.sample_size(10);
+    let a = cg::laplacian_2d(128, 128);
+    let mut r = rng();
+    let b: Vec<f64> = (0..a.n).map(|_| r.gen_range(-1.0..1.0)).collect();
+    g.bench_function("standard_cg", |bench| {
+        bench.iter(|| cg::cg(&a, &b, 1e-8, 2000).iterations);
+    });
+    g.bench_function("chronopoulos_gear", |bench| {
+        bench.iter(|| cg::cg_chronopoulos_gear(&a, &b, 1e-8, 2000).iterations);
+    });
+    g.finish();
+}
+
+/// Figure 22 kernel: eighth-order stencil RK step.
+fn bench_stencil(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig22_s3d_stencil");
+    g.sample_size(10);
+    let n = 50usize;
+    let mut u = stencil::Grid3::new(n, n, n);
+    u.fill(|i, j, k| (i + 2 * j + 3 * k) as f64 * 0.01);
+    g.throughput(Throughput::Elements((n * n * n) as u64));
+    g.bench_function("rk_advect_50cubed", |b| {
+        b.iter(|| stencil::rk_advect_step(&u, 1.0, 0.02, 1e-3).get(0, 0, 0));
+    });
+    g.finish();
+}
+
+/// Figures 20–21 kernel: MD forces.
+fn bench_md(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig20_namd_md");
+    g.sample_size(10);
+    let sys = md::MdSystem::lattice(1000, 14.0, 2.5, 7);
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("cell_list_forces_1000", |b| {
+        b.iter(|| sys.forces_cell_list().1);
+    });
+    g.finish();
+}
+
+/// Figure 23 kernel: complex LU.
+fn bench_zlu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig23_aorsa_zlu");
+    g.sample_size(10);
+    let n = 128usize;
+    let mut r = rng();
+    let a: Vec<C64> = (0..n * n)
+        .map(|_| C64::new(r.gen_range(-1.0..1.0), r.gen_range(-1.0..1.0)))
+        .collect();
+    g.throughput(Throughput::Elements((8 * n * n * n / 3) as u64));
+    g.bench_function("zlu_128", |b| {
+        b.iter(|| zlu::zlu_factor(n, &a).expect("nonsingular").lu[0]);
+    });
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_fft,
+    bench_dgemm,
+    bench_gups,
+    bench_stream,
+    bench_lu,
+    bench_ptrans,
+    bench_cg,
+    bench_stencil,
+    bench_md,
+    bench_zlu
+);
+criterion_main!(kernels);

@@ -1,0 +1,107 @@
+//! Criterion benches over the simulator itself: event throughput, message
+//! rate, collective cost, and end-to-end figure regeneration at quick scale.
+//! These guard the harness against performance regressions (a full figure
+//! run schedules tens of millions of events).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use xtsim::des::{Sim, SimDuration};
+use xtsim::hpcc::util::job;
+use xtsim::machine::{presets, ExecMode};
+use xtsim::mpi::{simulate, CollectiveMode, Message, ReduceOp};
+
+/// Raw event throughput of the DES core.
+fn bench_event_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des_events");
+    let events = 100_000u64;
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("sleep_chain_100k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(0);
+            let h = sim.handle();
+            sim.spawn(async move {
+                for _ in 0..events {
+                    h.sleep(SimDuration::from_ns(10)).await;
+                }
+            });
+            sim.run()
+        });
+    });
+    g.finish();
+}
+
+/// Simulated message rate (eager path, 2 ranks).
+fn bench_message_rate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mpi_messages");
+    let msgs = 2_000u64;
+    g.throughput(Throughput::Elements(msgs));
+    g.bench_function("pingpong_2k", |b| {
+        b.iter(|| {
+            let mut spec = presets::xt4();
+            spec.torus_dims = [2, 1, 1];
+            let cfg = xtsim::mpi::WorldConfig::new(xtsim::net::PlatformConfig::new(
+                spec,
+                ExecMode::SN,
+                2,
+            ));
+            simulate(0, cfg, move |mpi| async move {
+                for i in 0..msgs {
+                    if mpi.rank() == 0 {
+                        mpi.send(1, i, Message::of_bytes(64)).await;
+                        mpi.recv(Some(1), Some(i)).await;
+                    } else {
+                        mpi.recv(Some(0), Some(i)).await;
+                        mpi.send(0, i, Message::of_bytes(64)).await;
+                    }
+                }
+            })
+            .end_time
+        });
+    });
+    g.finish();
+}
+
+/// Algorithmic allreduce cost across rank counts.
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mpi_allreduce");
+    g.sample_size(10);
+    for &ranks in &[16usize, 64, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                let cfg = job(
+                    &presets::xt4(),
+                    ExecMode::SN,
+                    ranks,
+                    CollectiveMode::Algorithmic,
+                );
+                simulate(0, cfg, |mpi| async move {
+                    mpi.comm().allreduce(vec![1.0; 8], ReduceOp::Sum).await;
+                })
+                .end_time
+            });
+        });
+    }
+    g.finish();
+}
+
+/// End-to-end: one quick-scale figure regeneration (the S3D weak-scaling
+/// figure exercises platform + MPI + compute model together).
+fn bench_figure_quick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure_regeneration");
+    g.sample_size(10);
+    g.bench_function("s3d_64ranks", |b| {
+        b.iter(|| {
+            xtsim::apps::s3d::s3d(&presets::xt4(), ExecMode::VN, 64).cost_us_per_point
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    simulator,
+    bench_event_loop,
+    bench_message_rate,
+    bench_allreduce,
+    bench_figure_quick
+);
+criterion_main!(simulator);

@@ -1,0 +1,103 @@
+//! Regenerate the paper's tables and figures on the simulated platform.
+//!
+//! ```text
+//! figures [--full] [--quick] [--only ID[,ID...]] [--ablations] [--out DIR]
+//! ```
+//!
+//! Default scale is `--quick` (reduced sweeps, seconds per figure); `--full`
+//! runs the paper's ranges (the large POP/AORSA figures take minutes).
+//! Results are printed and also written to `DIR` (default `results/`) as
+//! `<id>.csv` and `<id>.json`.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use xtsim::ablations::all_ablations;
+use xtsim::figures::{all_figures, Figure};
+use xtsim::report::Scale;
+
+struct Args {
+    scale: Scale,
+    only: Option<Vec<String>>,
+    ablations: bool,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: Scale::Quick,
+        only: None,
+        ablations: false,
+        out: PathBuf::from("results"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => args.scale = Scale::Full,
+            "--quick" => args.scale = Scale::Quick,
+            "--ablations" => args.ablations = true,
+            "--only" => {
+                let ids = it.next().expect("--only needs an id list");
+                args.only = Some(ids.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--out" => args.out = PathBuf::from(it.next().expect("--out needs a directory")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: figures [--full|--quick] [--only ID[,ID...]] [--ablations] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut figures: Vec<Figure> = all_figures();
+    if args.ablations {
+        figures.extend(all_ablations());
+    }
+    if let Some(only) = &args.only {
+        figures.retain(|f| only.iter().any(|id| id == f.id));
+        if figures.is_empty() {
+            eprintln!("no figure matches {only:?}");
+            std::process::exit(2);
+        }
+    }
+    std::fs::create_dir_all(&args.out).expect("create output directory");
+    let scale_label = match args.scale {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    };
+    println!(
+        "# Cray XT4 evaluation reproduction — regenerating {} figure(s) at {scale_label} scale\n",
+        figures.len()
+    );
+    for fig in figures {
+        let t0 = std::time::Instant::now();
+        let result = (fig.run)(args.scale);
+        let elapsed = t0.elapsed();
+        println!("{}", result.render());
+        println!("({}: regenerated in {:.1?})\n", fig.id, elapsed);
+        let csv_path = args.out.join(format!("{}.csv", fig.id));
+        std::fs::File::create(&csv_path)
+            .and_then(|mut f| f.write_all(result.to_csv().as_bytes()))
+            .expect("write csv");
+        let json_path = args.out.join(format!("{}.json", fig.id));
+        std::fs::File::create(&json_path)
+            .and_then(|mut f| {
+                f.write_all(
+                    serde_json::to_string_pretty(&result)
+                        .expect("serialize")
+                        .as_bytes(),
+                )
+            })
+            .expect("write json");
+    }
+    println!("results written to {}", args.out.display());
+}

@@ -1,0 +1,13 @@
+//! # xtsim-bench — benchmark harness
+//!
+//! * `cargo run -p xtsim-bench --bin figures --release` regenerates every
+//!   table and figure of the paper (add `-- --only fig08`, `-- --full`,
+//!   `-- --ablations`, `-- --out DIR`);
+//! * `cargo bench -p xtsim-bench` runs Criterion wall-clock benches over the
+//!   real kernels (`benches/kernels.rs`) and the simulation engine itself
+//!   (`benches/simulator.rs`).
+
+#![warn(missing_docs)]
+
+/// Re-export so the benches and binary share one entry point.
+pub use xtsim;

@@ -1,0 +1,172 @@
+//! Ablation experiments for the design choices DESIGN.md calls out — these
+//! go beyond the paper's figures and probe the model's levers directly.
+
+use xtsim_apps::{cam, s3d};
+use xtsim_hpcc::{bidir, global, local};
+use xtsim_machine::{presets, ExecMode};
+
+use crate::report::{FigureResult, Scale, Series};
+
+/// All ablation experiments.
+pub fn all_ablations() -> Vec<crate::figures::Figure> {
+    vec![
+        crate::figures::Figure {
+            id: "abl-eager",
+            title: "Eager/rendezvous threshold sensitivity",
+            run: eager_threshold,
+        },
+        crate::figures::Figure {
+            id: "abl-memory",
+            title: "Memory technology ladder (DDR-400 → DDR2-667 → DDR2-800)",
+            run: memory_ladder,
+        },
+        crate::figures::Figure {
+            id: "abl-quadcore",
+            title: "Quad-core projection (the paper's future work)",
+            run: quad_core,
+        },
+        crate::figures::Figure {
+            id: "abl-vnstack",
+            title: "VN software-stack maturity (paper's predicted improvement)",
+            run: vn_stack,
+        },
+        crate::figures::Figure {
+            id: "abl-openmp",
+            title: "OpenMP on the XT4 (the paper's anticipated enhancement)",
+            run: openmp_xt4,
+        },
+    ]
+}
+
+/// Sweep the NIC eager threshold and watch the mid-size-message latency step
+/// move (Figures 12–13 carry this signature).
+fn eager_threshold(_scale: Scale) -> FigureResult {
+    let mut fig = FigureResult::new("abl-eager", "Eager threshold sweep")
+        .axes("message bytes", "one-way latency (us)");
+    for threshold in [16u64 << 10, 64 << 10, 256 << 10] {
+        let mut m = presets::xt4();
+        m.nic.eager_threshold_bytes = threshold;
+        let mut s = Series::new(format!("threshold {}KiB", threshold >> 10));
+        for bytes in [8u64 << 10, 32 << 10, 128 << 10, 512 << 10] {
+            let p = bidir::bidir_point(&m, ExecMode::SN, 1, bytes);
+            s.push(bytes as f64, p.latency_us);
+        }
+        fig = fig.with_series(s);
+    }
+    fig.note("larger thresholds defer the rendezvous handshake cost to larger messages")
+}
+
+/// STREAM and FFT across the DDR generations named in §2.
+fn memory_ladder(_scale: Scale) -> FigureResult {
+    let mut fig = FigureResult::new("abl-memory", "Memory ladder")
+        .axes("machine (1=XT3 DDR-400, 2=XT4 DDR2-667, 3=XT4 DDR2-800)", "value");
+    let machines = [presets::xt3_single(), presets::xt4(), presets::xt4_ddr2_800()];
+    let mut triad = Series::new("STREAM triad GB/s (SP)");
+    let mut fft = Series::new("FFT GFLOPS (SP)");
+    for (i, m) in machines.iter().enumerate() {
+        let t = local::local_bench(m, ExecMode::SN, local::LocalKernel::StreamTriad);
+        let f = local::local_bench(m, ExecMode::SN, local::LocalKernel::Fft);
+        triad.push((i + 1) as f64, t.sp);
+        fft.push((i + 1) as f64, f.sp);
+    }
+    fig.series.push(triad);
+    fig.series.push(fft);
+    fig
+}
+
+/// Project the site-upgrade to quad-core sockets: per-core STREAM collapses
+/// further, S3D VN-mode contention worsens — exactly the "multi-core is not
+/// a universal answer" trend of §7.
+fn quad_core(_scale: Scale) -> FigureResult {
+    let mut fig = FigureResult::new("abl-quadcore", "Quad-core projection")
+        .axes("cores per socket", "value");
+    let duo = presets::xt4();
+    let quad = presets::xt4_quad();
+    let mut stream = Series::new("per-core STREAM triad GB/s (EP)");
+    let mut s3d_cost = Series::new("S3D cost us/point (VN)");
+    for m in [&duo, &quad] {
+        let cores = m.processor.cores_per_socket as f64;
+        let t = local::local_bench(m, ExecMode::VN, local::LocalKernel::StreamTriad);
+        stream.push(cores, t.ep);
+        let r = s3d::s3d(m, ExecMode::VN, 64);
+        s3d_cost.push(cores, r.cost_us_per_point);
+    }
+    fig.series.push(stream);
+    fig.series.push(s3d_cost);
+    fig
+}
+
+/// Sweep the VN NIC-sharing penalty toward zero — the paper repeatedly
+/// expects VN-mode results "to improve as the XT4 software stack matures".
+fn vn_stack(_scale: Scale) -> FigureResult {
+    let mut fig = FigureResult::new("abl-vnstack", "VN software maturity")
+        .axes("vn extra overhead (us)", "MPI-RA GUPS at 64 sockets (VN)");
+    let mut s = Series::new("XT4-VN MPI-RA");
+    for extra in [4.2f64, 2.8, 1.4, 0.0] {
+        let mut m = presets::xt4();
+        m.nic.vn_extra_overhead_us = extra;
+        s.push(extra, global::mpi_ra(&m, ExecMode::VN, 64));
+    }
+    let sn = global::mpi_ra(&presets::xt4(), ExecMode::SN, 64);
+    fig.series.push(s);
+    fig.note(format!(
+        "XT4-SN reference: {sn:.4} GUPS — a matured VN stack closes most of the gap"
+    ))
+}
+
+/// The paper (§6.1): "OpenMP is also expected to provide a performance
+/// enhancement when it becomes available on the XT4 by allowing fewer MPI
+/// tasks to be used and by allowing us to restrict MPI communication to a
+/// single core per node." Run CAM with 1 vs 2 threads per task at the same
+/// processor counts.
+fn openmp_xt4(_scale: Scale) -> FigureResult {
+    let mut fig = FigureResult::new("abl-openmp", "CAM with OpenMP on XT4")
+        .axes("processors", "simulated years/day");
+    let m = presets::xt4();
+    let mut mpi_only = Series::new("VN, MPI-only");
+    let mut hybrid = Series::new("SN + 2 OpenMP threads/task");
+    for procs in [240usize, 480, 960] {
+        if let Some(r) = cam::cam(&m, ExecMode::VN, procs, 1) {
+            mpi_only.push(procs as f64, r.years_per_day);
+        }
+        // 2 threads per task: half the MPI tasks, one rank per node (SN),
+        // both cores driven by OpenMP.
+        if let Some(r) = cam::cam(&m, ExecMode::SN, procs / 2, 2) {
+            hybrid.push(procs as f64, r.years_per_day);
+        }
+    }
+    fig.series.push(mpi_only);
+    fig.series.push(hybrid);
+    fig.note("hybrid mode halves the MPI task count and keeps the NIC single-owner")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_ladder_is_monotone() {
+        let f = memory_ladder(Scale::Quick);
+        for s in &f.series {
+            assert!(s.points[1].1 > s.points[0].1, "{}: {:?}", s.name, s.points);
+            assert!(s.points[2].1 > s.points[1].1, "{}: {:?}", s.name, s.points);
+        }
+    }
+
+    #[test]
+    fn quad_core_worsens_contention() {
+        let f = quad_core(Scale::Quick);
+        let stream = &f.series[0];
+        assert!(stream.points[1].1 < stream.points[0].1, "{stream:?}");
+        let s3d_cost = &f.series[1];
+        assert!(s3d_cost.points[1].1 > s3d_cost.points[0].1, "{s3d_cost:?}");
+    }
+
+    #[test]
+    fn vn_stack_maturity_recovers_gups() {
+        let f = vn_stack(Scale::Quick);
+        let pts = &f.series[0].points;
+        // Lower penalty -> higher GUPS.
+        assert!(pts.last().unwrap().1 > pts.first().unwrap().1, "{pts:?}");
+    }
+}

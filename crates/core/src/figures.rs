@@ -1,0 +1,590 @@
+//! The figure registry: one generator per table/figure of the paper.
+//!
+//! Every generator reruns the corresponding experiment on the simulated
+//! machines and emits the same rows/series the paper reports. `Scale::Quick`
+//! shrinks the sweeps for CI; `Scale::Full` uses the paper's ranges.
+
+use xtsim_apps::{aorsa, cam, namd, pop, s3d};
+use xtsim_hpcc::{bidir, global, local, netbench};
+use xtsim_lustre::{run_ior, IorConfig, LustreConfig};
+use xtsim_machine::{presets, ExecMode, MachineSpec};
+
+use crate::report::{FigureResult, Scale, Series};
+
+/// A registered figure generator.
+pub struct Figure {
+    /// Identifier, e.g. "fig08".
+    pub id: &'static str,
+    /// Caption from the paper.
+    pub title: &'static str,
+    /// Generator.
+    pub run: fn(Scale) -> FigureResult,
+}
+
+/// All tables and figures, in paper order.
+pub fn all_figures() -> Vec<Figure> {
+    vec![
+        Figure { id: "table1", title: "Comparison of XT3, XT3 dual core, and XT4 systems", run: table1 },
+        Figure { id: "fig01", title: "Lustre filesystem architecture (IOR demonstration)", run: fig01 },
+        Figure { id: "fig02", title: "Network latency", run: fig02 },
+        Figure { id: "fig03", title: "Network bandwidth", run: fig03 },
+        Figure { id: "fig04", title: "SP/EP Fast Fourier Transform (FFT)", run: fig04 },
+        Figure { id: "fig05", title: "SP/EP Matrix Multiply (DGEMM)", run: fig05 },
+        Figure { id: "fig06", title: "SP/EP Random Access (RA)", run: fig06 },
+        Figure { id: "fig07", title: "SP/EP Memory Bandwidth (Streams)", run: fig07 },
+        Figure { id: "fig08", title: "Global High Performance LINPACK (HPL)", run: fig08 },
+        Figure { id: "fig09", title: "Global Fast Fourier Transform (MPI-FFT)", run: fig09 },
+        Figure { id: "fig10", title: "Global Matrix Transpose (PTRANS)", run: fig10 },
+        Figure { id: "fig11", title: "Global Random Access (MPI-RA)", run: fig11 },
+        Figure { id: "fig12", title: "Bidirectional MPI bandwidth (small-message emphasis)", run: fig12 },
+        Figure { id: "fig13", title: "Bidirectional MPI bandwidth (large-message emphasis)", run: fig13 },
+        Figure { id: "fig14", title: "CAM throughput on XT4 vs XT3", run: fig14 },
+        Figure { id: "fig15", title: "CAM throughput on XT4 relative to previous results", run: fig15 },
+        Figure { id: "fig16", title: "CAM performance by computational phase", run: fig16 },
+        Figure { id: "fig17", title: "POP throughput on XT4 vs XT3", run: fig17 },
+        Figure { id: "fig18", title: "POP throughput on XT4 relative to previous results", run: fig18 },
+        Figure { id: "fig19", title: "POP performance by computational phase", run: fig19 },
+        Figure { id: "fig20", title: "NAMD performance on XT4 vs XT3", run: fig20 },
+        Figure { id: "fig21", title: "NAMD performance impact of SN vs VN", run: fig21 },
+        Figure { id: "fig22", title: "S3D parallel performance", run: fig22 },
+        Figure { id: "fig23", title: "AORSA parallel performance", run: fig23 },
+    ]
+}
+
+/// Look up one figure by id.
+pub fn figure(id: &str) -> Option<Figure> {
+    all_figures().into_iter().find(|f| f.id == id)
+}
+
+fn table1(_scale: Scale) -> FigureResult {
+    let xt3 = presets::xt3_single();
+    let xt3d = presets::xt3_dual();
+    let xt4 = presets::xt4();
+    FigureResult::new("table1", "Comparison of XT3, XT3 dual core, and XT4 systems at ORNL")
+        .note(xtsim_machine::table::system_comparison(&[&xt3, &xt3d, &xt4]))
+        .note("\nDerived balance ratios (the quantities §1/§7 reason in):\n")
+        .note(xtsim_machine::balance::balance_table(&[&xt3, &xt3d, &xt4]))
+}
+
+fn fig01(scale: Scale) -> FigureResult {
+    let clients = match scale {
+        Scale::Quick => 16,
+        Scale::Full => 64,
+    };
+    let mut fig = FigureResult::new("fig01", "Lustre filesystem architecture — IOR on the model")
+        .axes("stripe count", "aggregate write GB/s");
+    let mut s = Series::new("IOR write");
+    let mut r = Series::new("IOR read");
+    for stripes in [1usize, 2, 4, 8, 16] {
+        let out = run_ior(
+            7,
+            LustreConfig::default(),
+            IorConfig {
+                clients,
+                block_size: 32 << 20,
+                transfer_size: 4 << 20,
+                stripe_count: stripes,
+                file_per_process: true,
+            },
+        );
+        s.push(stripes as f64, out.write_gbs);
+        r.push(stripes as f64, out.read_gbs);
+    }
+    fig = fig.with_series(s).with_series(r);
+    fig.note("One MDS (FIFO), 9 OSS × 4 OST; clients stripe files round-robin (paper Figure 1).")
+}
+
+/// The three system configurations of Figures 2–11.
+fn micro_systems() -> Vec<(String, MachineSpec, ExecMode)> {
+    vec![
+        ("XT3".into(), presets::xt3_single(), ExecMode::SN),
+        ("XT4-SN".into(), presets::xt4(), ExecMode::SN),
+        ("XT4-VN".into(), presets::xt4(), ExecMode::VN),
+    ]
+}
+
+fn net_sockets(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 32,
+        Scale::Full => 256,
+    }
+}
+
+fn fig02(scale: Scale) -> FigureResult {
+    let mut fig = FigureResult::new("fig02", "Network latency")
+        .axes("pattern (1=PPmin 2=PPavg 3=PPmax 4=Nat.Ring 5=Rand.Ring)", "latency (us)");
+    for (name, m, mode) in micro_systems() {
+        let r = netbench::network_bench(&m, mode, net_sockets(scale));
+        let mut s = Series::new(name);
+        for (i, v) in [r.pp_min_us, r.pp_avg_us, r.pp_max_us, r.nat_ring_us, r.rand_ring_us]
+            .into_iter()
+            .enumerate()
+        {
+            s.push((i + 1) as f64, v);
+        }
+        fig = fig.with_series(s);
+    }
+    fig
+}
+
+fn fig03(scale: Scale) -> FigureResult {
+    let mut fig = FigureResult::new("fig03", "Network bandwidth")
+        .axes("pattern (1=PPmin 2=PPavg 3=PPmax 4=Nat.Ring 5=Rand.Ring)", "bandwidth (GB/s)");
+    for (name, m, mode) in micro_systems() {
+        let r = netbench::network_bench(&m, mode, net_sockets(scale));
+        let mut s = Series::new(name);
+        for (i, v) in [r.pp_min_bw, r.pp_avg_bw, r.pp_max_bw, r.nat_ring_bw, r.rand_ring_bw]
+            .into_iter()
+            .enumerate()
+        {
+            s.push((i + 1) as f64, v);
+        }
+        fig = fig.with_series(s);
+    }
+    fig
+}
+
+fn local_fig(id: &str, title: &str, kernel: local::LocalKernel) -> FigureResult {
+    let mut fig = FigureResult::new(id, title).axes("system (bar)", kernel.label());
+    let mut sp = Series::new("SP");
+    let mut ep = Series::new("EP");
+    for (i, (_name, m, mode)) in micro_systems().into_iter().enumerate() {
+        let r = local::local_bench(&m, mode, kernel);
+        sp.push((i + 1) as f64, r.sp);
+        ep.push((i + 1) as f64, r.ep);
+    }
+    fig.series.push(sp);
+    fig.series.push(ep);
+    fig.note("bars: 1=XT3, 2=XT4-SN, 3=XT4-VN")
+}
+
+fn fig04(_s: Scale) -> FigureResult {
+    local_fig("fig04", "SP/EP Fast Fourier Transform", local::LocalKernel::Fft)
+}
+fn fig05(_s: Scale) -> FigureResult {
+    local_fig("fig05", "SP/EP Matrix Multiply (DGEMM)", local::LocalKernel::Dgemm)
+}
+fn fig06(_s: Scale) -> FigureResult {
+    local_fig("fig06", "SP/EP Random Access", local::LocalKernel::RandomAccess)
+}
+fn fig07(_s: Scale) -> FigureResult {
+    local_fig("fig07", "SP/EP Memory Bandwidth (Streams)", local::LocalKernel::StreamTriad)
+}
+
+fn global_sockets(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![16, 32, 64, 128],
+        Scale::Full => global::default_sweep_sockets(),
+    }
+}
+
+fn global_fig(
+    id: &str,
+    title: &str,
+    y: &str,
+    scale: Scale,
+    bench: fn(&MachineSpec, ExecMode, usize) -> f64,
+) -> FigureResult {
+    let sockets = global_sockets(scale);
+    let mut fig = FigureResult::new(id, title).axes("cores/sockets", y);
+    // Series exactly as in the paper: XT3 and XT4-SN against sockets (= cores),
+    // XT4-VN against both cores and sockets.
+    let xt3 = presets::xt3_single();
+    let xt4 = presets::xt4();
+    let mut s = Series::new("XT3");
+    for p in global::sweep(&xt3, ExecMode::SN, &sockets, bench) {
+        s.push(p.sockets as f64, p.value);
+    }
+    fig = fig.with_series(s);
+    let mut s = Series::new("XT4-SN");
+    for p in global::sweep(&xt4, ExecMode::SN, &sockets, bench) {
+        s.push(p.sockets as f64, p.value);
+    }
+    fig = fig.with_series(s);
+    let vn = global::sweep(&xt4, ExecMode::VN, &sockets, bench);
+    let mut by_cores = Series::new("XT4-VN (cores)");
+    let mut by_sockets = Series::new("XT4-VN (sockets)");
+    for p in vn {
+        by_cores.push(p.cores as f64, p.value);
+        by_sockets.push(p.sockets as f64, p.value);
+    }
+    fig.with_series(by_cores).with_series(by_sockets)
+}
+
+fn fig08(scale: Scale) -> FigureResult {
+    global_fig("fig08", "Global HPL", "TFLOPS", scale, global::hpl)
+}
+fn fig09(scale: Scale) -> FigureResult {
+    global_fig("fig09", "Global MPI-FFT", "GFLOPS", scale, global::mpi_fft)
+}
+fn fig10(scale: Scale) -> FigureResult {
+    global_fig("fig10", "Global PTRANS", "GB/s", scale, global::ptrans)
+}
+fn fig11(scale: Scale) -> FigureResult {
+    global_fig("fig11", "Global MPI-RandomAccess", "GUPS", scale, global::mpi_ra)
+}
+
+fn bidir_systems() -> Vec<(String, MachineSpec, ExecMode, usize)> {
+    // The paper's single-core XT3 curves were measured two years before the
+    // rest ("performance differences are likely, at least partly, due to
+    // changes in the system software"): model the stale 2005 stack with a
+    // higher per-message software overhead. Large-message peaks are
+    // unaffected, small-message latency is much worse — exactly the shape
+    // of Figures 12–13.
+    let mut xt3_sc_2005 = presets::xt3_single();
+    xt3_sc_2005.nic.sw_overhead_us = 12.0;
+    vec![
+        ("0-1 internode XT3-SC".into(), xt3_sc_2005, ExecMode::SN, 1),
+        ("0-1 internode XT3-DC".into(), presets::xt3_dual(), ExecMode::VN, 1),
+        ("0-1 internode XT4".into(), presets::xt4(), ExecMode::VN, 1),
+        ("i-(i+2) i=0,1 XT3-DC (VN)".into(), presets::xt3_dual(), ExecMode::VN, 2),
+        ("i-(i+2) i=0,1 XT4 (VN)".into(), presets::xt4(), ExecMode::VN, 2),
+    ]
+}
+
+fn bidir_fig(id: &str, title: &str) -> FigureResult {
+    let mut fig = FigureResult::new(id, title).axes("message bytes", "per-pair bidirectional MB/s");
+    for (name, m, mode, pairs) in bidir_systems() {
+        let mut s = Series::new(name);
+        for p in bidir::bidir_sweep(&m, mode, pairs) {
+            s.push(p.bytes as f64, p.bandwidth_mbs);
+        }
+        fig = fig.with_series(s);
+    }
+    fig
+}
+
+fn fig12(_s: Scale) -> FigureResult {
+    bidir_fig("fig12", "Bidirectional MPI bandwidth (log-log: small messages)")
+}
+fn fig13(_s: Scale) -> FigureResult {
+    bidir_fig("fig13", "Bidirectional MPI bandwidth (log-linear: large messages)")
+        .note("same data as fig12; the paper replots it with a linear y-axis")
+}
+
+fn cam_tasks(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![32, 64, 120, 240],
+        Scale::Full => vec![32, 64, 96, 120, 240, 336, 504, 672, 960],
+    }
+}
+
+fn fig14(scale: Scale) -> FigureResult {
+    let mut fig = FigureResult::new("fig14", "CAM throughput, XT4 vs XT3")
+        .axes("MPI tasks", "simulated years/day");
+    let systems: Vec<(&str, MachineSpec, ExecMode)> = vec![
+        ("XT3 (single-core)", presets::xt3_single(), ExecMode::SN),
+        ("XT3-DC VN", presets::xt3_dual(), ExecMode::VN),
+        ("XT4 SN", presets::xt4(), ExecMode::SN),
+        ("XT4 VN", presets::xt4(), ExecMode::VN),
+    ];
+    for (name, m, mode) in systems {
+        let mut s = Series::new(name);
+        for &t in &cam_tasks(scale) {
+            if let Some(r) = cam::cam(&m, mode, t, 1) {
+                s.push(t as f64, r.years_per_day);
+            }
+        }
+        fig = fig.with_series(s);
+    }
+    fig
+}
+
+fn fig15(scale: Scale) -> FigureResult {
+    let mut fig = FigureResult::new("fig15", "CAM throughput across platforms")
+        .axes("processors", "simulated years/day");
+    let platforms: Vec<(&str, MachineSpec, ExecMode)> = vec![
+        ("XT4 SN", presets::xt4(), ExecMode::SN),
+        ("XT4 VN", presets::xt4(), ExecMode::VN),
+        ("Cray X1E", presets::x1e(), ExecMode::SN),
+        ("Earth Simulator", presets::earth_simulator(), ExecMode::SN),
+        ("IBM p690", presets::p690(), ExecMode::SN),
+        ("IBM p575", presets::p575(), ExecMode::SN),
+        ("IBM SP", presets::ibm_sp(), ExecMode::SN),
+    ];
+    for (name, m, mode) in platforms {
+        let mut s = Series::new(name);
+        for &t in &cam_tasks(scale) {
+            if t > m.core_count() {
+                continue;
+            }
+            if let Some(r) = cam::cam_best(&m, mode, t) {
+                s.push(t as f64, r.years_per_day);
+            }
+        }
+        fig = fig.with_series(s);
+    }
+    fig.note("each point optimized over OpenMP threads/task where the platform supports it")
+}
+
+fn fig16(scale: Scale) -> FigureResult {
+    let mut fig = FigureResult::new("fig16", "CAM dynamics vs physics cost")
+        .axes("MPI tasks", "wall seconds per simulated day");
+    let systems: Vec<(&str, MachineSpec, ExecMode)> = vec![
+        ("XT4 SN dynamics", presets::xt4(), ExecMode::SN),
+        ("XT4 VN dynamics", presets::xt4(), ExecMode::VN),
+        ("p575 dynamics", presets::p575(), ExecMode::SN),
+    ];
+    for (name, m, mode) in systems {
+        let mut dynamics = Series::new(name);
+        let mut physics = Series::new(name.replace("dynamics", "physics"));
+        for &t in &cam_tasks(scale) {
+            if t > m.core_count() {
+                continue;
+            }
+            if let Some(r) = cam::cam(&m, mode, t, 1) {
+                dynamics.push(t as f64, r.dynamics_secs_per_day);
+                physics.push(t as f64, r.physics_secs_per_day);
+            }
+        }
+        fig = fig.with_series(dynamics).with_series(physics);
+    }
+    fig
+}
+
+fn pop_tasks(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![256, 512, 1024, 2048],
+        Scale::Full => vec![500, 1000, 2000, 4000, 5000, 8000, 10000, 16000, 22000],
+    }
+}
+
+fn fig17(scale: Scale) -> FigureResult {
+    let mut fig = FigureResult::new("fig17", "POP throughput, XT4 vs XT3")
+        .axes("MPI tasks", "simulated years/day");
+    let systems: Vec<(&str, MachineSpec, ExecMode)> = vec![
+        ("XT3 (single-core)", presets::xt3_single(), ExecMode::SN),
+        ("XT3-DC VN", presets::xt3_dual(), ExecMode::VN),
+        ("XT4 SN", presets::xt4(), ExecMode::SN),
+        ("XT4 VN", presets::xt4(), ExecMode::VN),
+    ];
+    for (name, m, mode) in systems {
+        let mut s = Series::new(name);
+        for &t in &pop_tasks(scale) {
+            // Large runs use the combined XT3+XT4 machine like the paper.
+            let machine = if t > 6_000 && name.starts_with("XT4") {
+                presets::xt3_xt4_combined()
+            } else {
+                m.clone()
+            };
+            if t > machine.max_ranks(mode) {
+                continue;
+            }
+            if let Some(r) = pop::pop(&machine, mode, t, pop::Solver::StandardCg) {
+                s.push(t as f64, r.years_per_day);
+            }
+        }
+        fig = fig.with_series(s);
+    }
+    fig
+}
+
+fn fig18(scale: Scale) -> FigureResult {
+    let mut fig = FigureResult::new("fig18", "POP throughput across platforms (+ C-G variant)")
+        .axes("MPI tasks", "simulated years/day");
+    for (name, solver) in [
+        ("XT4 VN", pop::Solver::StandardCg),
+        ("XT4 VN (C-G allreduce-halving)", pop::Solver::ChronopoulosGear),
+    ] {
+        let mut s = Series::new(name);
+        for &t in &pop_tasks(scale) {
+            let machine = if t > 6_000 {
+                presets::xt3_xt4_combined()
+            } else {
+                presets::xt4()
+            };
+            if let Some(r) = pop::pop(&machine, ExecMode::VN, t, solver) {
+                s.push(t as f64, r.years_per_day);
+            }
+        }
+        fig = fig.with_series(s);
+    }
+    let mut s = Series::new("Cray X1E");
+    for &t in &pop_tasks(scale) {
+        let m = presets::x1e();
+        if t > m.max_ranks(ExecMode::SN) {
+            continue;
+        }
+        if let Some(r) = pop::pop(&m, ExecMode::SN, t, pop::Solver::StandardCg) {
+            s.push(t as f64, r.years_per_day);
+        }
+    }
+    fig.with_series(s)
+}
+
+fn fig19(scale: Scale) -> FigureResult {
+    let mut fig = FigureResult::new("fig19", "POP phase cost (baroclinic vs barotropic)")
+        .axes("MPI tasks", "wall seconds per simulated day");
+    let configs: Vec<(&str, ExecMode, pop::Solver)> = vec![
+        ("SN", ExecMode::SN, pop::Solver::StandardCg),
+        ("VN", ExecMode::VN, pop::Solver::StandardCg),
+        ("VN C-G", ExecMode::VN, pop::Solver::ChronopoulosGear),
+    ];
+    for (name, mode, solver) in configs {
+        let mut baro = Series::new(format!("baroclinic {name}"));
+        let mut barot = Series::new(format!("barotropic {name}"));
+        for &t in &pop_tasks(scale) {
+            let machine = if t > 6_000 {
+                presets::xt3_xt4_combined()
+            } else {
+                presets::xt4()
+            };
+            if t > machine.max_ranks(mode).max(24_000) {
+                continue;
+            }
+            if let Some(r) = pop::pop(&machine, mode, t, solver) {
+                baro.push(t as f64, r.baroclinic_secs_per_day);
+                barot.push(t as f64, r.barotropic_secs_per_day);
+            }
+        }
+        fig = fig.with_series(baro).with_series(barot);
+    }
+    fig
+}
+
+fn namd_tasks(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![64, 256, 1024],
+        Scale::Full => vec![64, 128, 256, 512, 1024, 2048, 4096, 8192, 12000],
+    }
+}
+
+fn fig20(scale: Scale) -> FigureResult {
+    let mut fig = FigureResult::new("fig20", "NAMD time/step, XT4 vs XT3")
+        .axes("MPI tasks", "seconds per step");
+    for (sys, cap) in [(namd::System::Atoms1M, 8192usize), (namd::System::Atoms3M, 12000)] {
+        for (mname, m) in [("XT3", presets::xt3_dual()), ("XT4", presets::xt4())] {
+            let mut s = Series::new(format!("{mname}({})", sys.label()));
+            for &t in &namd_tasks(scale) {
+                if t > cap {
+                    continue;
+                }
+                let r = namd::namd(&m, ExecMode::VN, t, sys);
+                s.push(t as f64, r.secs_per_step);
+            }
+            fig = fig.with_series(s);
+        }
+    }
+    fig
+}
+
+fn fig21(scale: Scale) -> FigureResult {
+    let mut fig = FigureResult::new("fig21", "NAMD SN vs VN")
+        .axes("MPI tasks", "seconds per step");
+    let m = presets::xt4();
+    for (sys, cap) in [(namd::System::Atoms1M, 8192usize), (namd::System::Atoms3M, 12000)] {
+        for mode in [ExecMode::SN, ExecMode::VN] {
+            let mut s = Series::new(format!("{}({})", sys.label(), mode));
+            for &t in &namd_tasks(scale) {
+                if t > cap || t > m.max_ranks(mode).max(12_000) {
+                    continue;
+                }
+                // SN mode cannot exceed the socket count of the machine.
+                if mode == ExecMode::SN && t > 6_400 {
+                    continue;
+                }
+                let r = namd::namd(&m, mode, t, sys);
+                s.push(t as f64, r.secs_per_step);
+            }
+            fig = fig.with_series(s);
+        }
+    }
+    fig
+}
+
+fn fig22(scale: Scale) -> FigureResult {
+    let cores: Vec<usize> = match scale {
+        Scale::Quick => vec![1, 8, 64, 512],
+        Scale::Full => vec![1, 8, 64, 512, 1728, 4096, 8000, 12000],
+    };
+    let mut fig = FigureResult::new("fig22", "S3D weak-scaling cost")
+        .axes("cores", "cost per grid point per step (us)");
+    // Both lines are 2007-era dual-core systems run in VN mode (only the
+    // dual-core XT3 had ~10,000 cores).
+    for (name, m) in [("XT3", presets::xt3_dual()), ("XT4", presets::xt4())] {
+        let mode = ExecMode::VN;
+        let mut s = Series::new(name);
+        for &c in &cores {
+            let r = s3d::s3d(&m, mode, c);
+            s.push(c as f64, r.cost_us_per_point);
+        }
+        fig = fig.with_series(s);
+    }
+    fig
+}
+
+fn fig23(scale: Scale) -> FigureResult {
+    let grid = 300;
+    let configs: Vec<(&str, MachineSpec, usize)> = match scale {
+        Scale::Quick => vec![
+            ("4k XT3", presets::xt3_dual(), 4096),
+            ("4k XT4", presets::xt4(), 4096),
+            ("8k XT4", presets::xt4(), 8192),
+        ],
+        Scale::Full => vec![
+            ("4k XT3", presets::xt3_dual(), 4096),
+            ("4k XT4", presets::xt4(), 4096),
+            ("8k XT4", presets::xt4(), 8192),
+            ("16k XT3/4", presets::xt3_xt4_combined(), 16384),
+            ("22.5k XT3/4", presets::xt3_xt4_combined(), 22500),
+        ],
+    };
+    let mut axb = Series::new("Ax=b");
+    let mut ql = Series::new("Calc QL operator");
+    let mut total = Series::new("Total");
+    let mut fig = FigureResult::new("fig23", "AORSA grind time").axes("configuration (bar)", "grind time (minutes)");
+    for (i, (name, m, cores)) in configs.iter().enumerate() {
+        let r = aorsa::aorsa(m, ExecMode::VN, *cores, grid);
+        axb.push((i + 1) as f64, r.axb_minutes);
+        ql.push((i + 1) as f64, r.ql_minutes);
+        total.push((i + 1) as f64, r.total_minutes);
+        fig = fig.note(format!(
+            "bar {} = {}   (solver {:.1} TFLOPS)",
+            i + 1,
+            name,
+            r.solver_tflops
+        ));
+    }
+    fig.series.push(axb);
+    fig.series.push(ql);
+    fig.series.push(total);
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_table_and_figure() {
+        let figs = all_figures();
+        assert_eq!(figs.len(), 24); // table1 + fig01..fig23
+        for want in ["table1", "fig01", "fig12", "fig23"] {
+            assert!(figs.iter().any(|f| f.id == want), "{want} missing");
+        }
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert!(figure("fig08").is_some());
+        assert!(figure("fig99").is_none());
+    }
+
+    #[test]
+    fn table1_renders_key_values() {
+        let t = table1(Scale::Quick).render();
+        assert!(t.contains("SeaStar2"));
+        assert!(t.contains("10.6GB/s"));
+    }
+
+    #[test]
+    fn quick_local_figures_have_three_bars() {
+        let f = fig05(Scale::Quick);
+        assert_eq!(f.series.len(), 2); // SP + EP
+        assert_eq!(f.series[0].points.len(), 3); // XT3, XT4-SN, XT4-VN
+        // DGEMM EP ~ SP on every system.
+        for (sp, ep) in f.series[0].points.iter().zip(&f.series[1].points) {
+            assert!(ep.1 / sp.1 > 0.85);
+        }
+    }
+}

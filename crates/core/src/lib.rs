@@ -1,0 +1,40 @@
+//! # xtsim — Cray XT4 evaluation reproduction, facade crate
+//!
+//! Re-exports the whole stack and hosts the experiment registry that
+//! regenerates every table and figure of *"Cray XT4: An Early Evaluation
+//! for Petascale Scientific Simulation"* (SC'07) on the simulated platform.
+//!
+//! ```
+//! use xtsim::figures;
+//! use xtsim::report::Scale;
+//!
+//! let fig = figures::figure("table1").unwrap();
+//! let out = (fig.run)(Scale::Quick);
+//! assert!(out.render().contains("SeaStar2"));
+//! ```
+//!
+//! Layer map (each is its own crate, re-exported below):
+//!
+//! * [`des`] — discrete-event engine;
+//! * [`machine`] — machine models and presets;
+//! * [`net`] — torus/NIC/memory platform;
+//! * [`mpi`] — simulated MPI;
+//! * [`kernels`] — real numerical kernels;
+//! * [`hpcc`] — HPC Challenge suite (Figures 2–13);
+//! * [`lustre`] — parallel filesystem model + IOR (Figure 1);
+//! * [`apps`] — CAM/POP/NAMD/S3D/AORSA proxies (Figures 14–23).
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod figures;
+pub mod report;
+
+pub use xtsim_apps as apps;
+pub use xtsim_des as des;
+pub use xtsim_hpcc as hpcc;
+pub use xtsim_kernels as kernels;
+pub use xtsim_lustre as lustre;
+pub use xtsim_machine as machine;
+pub use xtsim_mpi as mpi;
+pub use xtsim_net as net;

@@ -1,0 +1,526 @@
+//! The discrete-event simulation core: event heap + single-threaded async executor.
+//!
+//! Every simulated entity (an MPI rank, a NIC, an I/O server) is an ordinary
+//! Rust `Future` spawned onto the [`Sim`]. Futures block on simulated
+//! conditions (timers, channels, resources); the executor interleaves them in
+//! a strictly deterministic order:
+//!
+//! 1. run every ready task (FIFO) at the current instant;
+//! 2. pop the earliest event `(time, seq)` from the heap, advance the clock,
+//!    fire it (which typically wakes a task);
+//! 3. repeat until no events and no ready tasks remain.
+//!
+//! Ties on `time` break on the monotone `seq` counter, so two runs of the
+//! same program produce identical schedules.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+use crate::time::{SimDuration, SimTime};
+
+type LocalFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
+
+/// What happens when an event fires.
+pub(crate) enum EventAction {
+    /// Wake an async task waker.
+    Wake(Waker),
+    /// Run an arbitrary callback (used by the fluid model for flow completion).
+    Call(Box<dyn FnOnce()>),
+}
+
+struct EventEntry {
+    time: SimTime,
+    seq: u64,
+    action: EventAction,
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for EventEntry {}
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Shared FIFO of runnable task ids. `Waker` must be `Send + Sync`, hence the
+/// mutex, even though the simulation itself is single-threaded.
+type ReadyQueue = Arc<Mutex<VecDeque<usize>>>;
+
+struct TaskWaker {
+    id: usize,
+    ready: ReadyQueue,
+}
+
+impl std::task::Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.lock().expect("ready queue poisoned").push_back(self.id);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.lock().expect("ready queue poisoned").push_back(self.id);
+    }
+}
+
+pub(crate) struct SimCore {
+    now: Cell<SimTime>,
+    seq: Cell<u64>,
+    events: RefCell<BinaryHeap<Reverse<EventEntry>>>,
+    tasks: RefCell<Vec<Option<LocalFuture>>>,
+    /// Tasks spawned while the executor is mid-poll; drained before the next step.
+    staged: RefCell<Vec<(usize, LocalFuture)>>,
+    ready: ReadyQueue,
+    live_tasks: Cell<usize>,
+    base_seed: u64,
+}
+
+impl SimCore {
+    pub(crate) fn now(&self) -> SimTime {
+        self.now.get()
+    }
+
+    fn next_seq(&self) -> u64 {
+        let s = self.seq.get();
+        self.seq.set(s + 1);
+        s
+    }
+
+    /// Schedule `action` to fire at `time` (clamped to never be in the past).
+    pub(crate) fn schedule(&self, time: SimTime, action: EventAction) {
+        let time = time.max(self.now.get());
+        let seq = self.next_seq();
+        self.events
+            .borrow_mut()
+            .push(Reverse(EventEntry { time, seq, action }));
+    }
+
+    fn stage_task(&self, fut: LocalFuture) -> usize {
+        let id = {
+            let tasks = self.tasks.borrow();
+            tasks.len() + self.staged.borrow().len()
+        };
+        self.staged.borrow_mut().push((id, fut));
+        self.live_tasks.set(self.live_tasks.get() + 1);
+        self.ready.lock().expect("ready queue poisoned").push_back(id);
+        id
+    }
+
+    fn commit_staged(&self) {
+        let mut staged = self.staged.borrow_mut();
+        if staged.is_empty() {
+            return;
+        }
+        let mut tasks = self.tasks.borrow_mut();
+        for (id, fut) in staged.drain(..) {
+            debug_assert_eq!(id, tasks.len());
+            tasks.push(Some(fut));
+        }
+    }
+}
+
+/// A handle to the simulation, cheaply cloneable into spawned futures.
+///
+/// The handle is the ambient "operating system" of a simulated entity: it
+/// tells the time, sleeps, spawns siblings, and hands out deterministic RNG
+/// streams.
+#[derive(Clone)]
+pub struct SimHandle {
+    pub(crate) core: Rc<SimCore>,
+}
+
+impl SimHandle {
+    /// Current simulated instant.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.core.now()
+    }
+
+    /// Sleep until `deadline` (completes immediately if already past).
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            core: Rc::clone(&self.core),
+            deadline,
+            registered: false,
+        }
+    }
+
+    /// Sleep for `dur` simulated time.
+    pub fn sleep(&self, dur: SimDuration) -> Sleep {
+        self.sleep_until(self.now() + dur)
+    }
+
+    /// Yield to let every other currently-ready task run once at this instant.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { yielded: false }
+    }
+
+    /// Spawn a new task. The returned [`JoinHandle`] resolves to the task's output.
+    pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        let state: Rc<RefCell<JoinState<T>>> = Rc::new(RefCell::new(JoinState {
+            result: None,
+            waker: None,
+        }));
+        let state2 = Rc::clone(&state);
+        let wrapped = async move {
+            let out = fut.await;
+            let mut st = state2.borrow_mut();
+            st.result = Some(out);
+            if let Some(w) = st.waker.take() {
+                w.wake();
+            }
+        };
+        self.core.stage_task(Box::pin(wrapped));
+        JoinHandle { state }
+    }
+
+    /// A deterministic RNG stream derived from the simulation seed and `stream`.
+    ///
+    /// Distinct `stream` values give statistically independent sequences, and
+    /// the same `(seed, stream)` pair always yields the same sequence.
+    pub fn rng(&self, stream: u64) -> rand_chacha::ChaCha8Rng {
+        use rand::SeedableRng;
+        let mixed = self
+            .core
+            .base_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(stream.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        rand_chacha::ChaCha8Rng::seed_from_u64(mixed)
+    }
+
+    /// Schedule a callback to run at absolute time `at`.
+    pub fn call_at(&self, at: SimTime, f: impl FnOnce() + 'static) {
+        self.core.schedule(at, EventAction::Call(Box::new(f)));
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+}
+
+/// Future resolving to a spawned task's output.
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut st = self.state.borrow_mut();
+        if let Some(out) = st.result.take() {
+            Poll::Ready(out)
+        } else {
+            st.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// True once the task has finished (its output is buffered).
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().result.is_some()
+    }
+}
+
+/// Timer future returned by [`SimHandle::sleep`] / [`SimHandle::sleep_until`].
+pub struct Sleep {
+    core: Rc<SimCore>,
+    deadline: SimTime,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.core.now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            self.core
+                .schedule(self.deadline, EventAction::Wake(cx.waker().clone()));
+            self.registered = true;
+        }
+        Poll::Pending
+    }
+}
+
+/// Future returned by [`SimHandle::yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+/// A deterministic discrete-event simulation.
+pub struct Sim {
+    handle: SimHandle,
+}
+
+impl Sim {
+    /// Create a simulation whose RNG streams derive from `seed`.
+    pub fn new(seed: u64) -> Sim {
+        let core = Rc::new(SimCore {
+            now: Cell::new(SimTime::ZERO),
+            seq: Cell::new(0),
+            events: RefCell::new(BinaryHeap::new()),
+            tasks: RefCell::new(Vec::new()),
+            staged: RefCell::new(Vec::new()),
+            ready: Arc::new(Mutex::new(VecDeque::new())),
+            live_tasks: Cell::new(0),
+            base_seed: seed,
+        });
+        Sim {
+            handle: SimHandle { core },
+        }
+    }
+
+    /// Handle for spawning and time queries.
+    pub fn handle(&self) -> SimHandle {
+        self.handle.clone()
+    }
+
+    /// Spawn a root task.
+    pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        self.handle.spawn(fut)
+    }
+
+    /// Run until no ready tasks and no pending events remain.
+    ///
+    /// Returns the final simulated time. Panics if the run ends with live
+    /// tasks still blocked (a deadlock in the simulated program), because a
+    /// silently half-finished simulation would corrupt every measurement
+    /// derived from it.
+    pub fn run(&mut self) -> SimTime {
+        let core = &self.handle.core;
+        loop {
+            core.commit_staged();
+            // Phase 1: drain the ready queue at the current instant.
+            loop {
+                let next = core.ready.lock().expect("ready queue poisoned").pop_front();
+                let Some(id) = next else { break };
+                let fut = {
+                    let mut tasks = core.tasks.borrow_mut();
+                    match tasks.get_mut(id) {
+                        Some(slot) => slot.take(),
+                        None => None,
+                    }
+                };
+                let Some(mut fut) = fut else { continue }; // finished or spurious wake
+                let waker = Waker::from(Arc::new(TaskWaker {
+                    id,
+                    ready: Arc::clone(&core.ready),
+                }));
+                let mut cx = Context::from_waker(&waker);
+                match fut.as_mut().poll(&mut cx) {
+                    Poll::Ready(()) => {
+                        core.live_tasks.set(core.live_tasks.get() - 1);
+                    }
+                    Poll::Pending => {
+                        core.tasks.borrow_mut()[id] = Some(fut);
+                    }
+                }
+                core.commit_staged();
+            }
+            // Phase 2: advance time to the next event.
+            let entry = core.events.borrow_mut().pop();
+            match entry {
+                Some(Reverse(ev)) => {
+                    debug_assert!(ev.time >= core.now());
+                    core.now.set(ev.time);
+                    match ev.action {
+                        EventAction::Wake(w) => w.wake(),
+                        EventAction::Call(f) => f(),
+                    }
+                }
+                None => break,
+            }
+        }
+        let leaked = core.live_tasks.get();
+        assert!(
+            leaked == 0,
+            "simulation deadlock: {leaked} task(s) still blocked at t={}",
+            core.now()
+        );
+        core.now()
+    }
+
+    /// Current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.handle.now()
+    }
+}
+
+impl Drop for Sim {
+    fn drop(&mut self) {
+        // Break potential Rc cycles: tasks own SimHandle which owns the core
+        // which owns the tasks. Dropping the futures here frees everything.
+        self.handle.core.tasks.borrow_mut().clear();
+        self.handle.core.staged.borrow_mut().clear();
+        self.handle.core.events.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn empty_sim_finishes_at_zero() {
+        let mut sim = Sim::new(0);
+        assert_eq!(sim.run(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sleep_advances_time() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        sim.spawn(async move {
+            h.sleep(SimDuration::from_us(5)).await;
+        });
+        assert_eq!(sim.run(), SimTime::from_ps(5_000_000));
+    }
+
+    #[test]
+    fn tasks_interleave_deterministically() {
+        let order: Rc<RefCell<Vec<(u32, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(0);
+        for id in 0..3u32 {
+            let h = sim.handle();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                h.sleep(SimDuration::from_ns(10 * (3 - id) as u64)).await;
+                order.borrow_mut().push((id, h.now().as_ps()));
+                h.sleep(SimDuration::from_ns(100)).await;
+                order.borrow_mut().push((id, h.now().as_ps()));
+            });
+        }
+        sim.run();
+        let got = order.borrow().clone();
+        assert_eq!(
+            got,
+            vec![
+                (2, 10_000),
+                (1, 20_000),
+                (0, 30_000),
+                (2, 110_000),
+                (1, 120_000),
+                (0, 130_000)
+            ]
+        );
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let outer = sim.spawn(async move {
+            let inner = h.spawn(async { 21 * 2 });
+            inner.await
+        });
+        sim.run();
+        assert!(outer.is_finished());
+    }
+
+    #[test]
+    fn spawn_from_within_task_runs() {
+        let hits = Rc::new(RefCell::new(0));
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let hits2 = Rc::clone(&hits);
+        sim.spawn(async move {
+            for _ in 0..10 {
+                let hits3 = Rc::clone(&hits2);
+                let hh = h.clone();
+                h.spawn(async move {
+                    hh.sleep(SimDuration::from_ns(1)).await;
+                    *hits3.borrow_mut() += 1;
+                });
+            }
+        });
+        sim.run();
+        assert_eq!(*hits.borrow(), 10);
+    }
+
+    #[test]
+    fn yield_now_lets_peers_run() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let l1 = Rc::clone(&log);
+        sim.spawn(async move {
+            l1.borrow_mut().push("a1");
+            h.yield_now().await;
+            l1.borrow_mut().push("a2");
+        });
+        let l2 = Rc::clone(&log);
+        sim.spawn(async move {
+            l2.borrow_mut().push("b1");
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["a1", "b1", "a2"]);
+    }
+
+    #[test]
+    fn rng_streams_are_deterministic_and_distinct() {
+        use rand::RngCore;
+        let sim = Sim::new(42);
+        let mut a1 = sim.handle().rng(1);
+        let mut a2 = sim.handle().rng(1);
+        let mut b = sim.handle().rng(2);
+        let xs: Vec<u64> = (0..4).map(|_| a1.next_u64()).collect();
+        let ys: Vec<u64> = (0..4).map(|_| a2.next_u64()).collect();
+        let zs: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_panics() {
+        let mut sim = Sim::new(0);
+        sim.spawn(async {
+            std::future::pending::<()>().await;
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn call_at_fires_in_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        for (i, t) in [30u64, 10, 20].iter().enumerate() {
+            let l = Rc::clone(&log);
+            h.call_at(SimTime::from_ps(*t), move || l.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 0]);
+    }
+}

@@ -1,0 +1,539 @@
+//! Max-min fair fluid bandwidth sharing.
+//!
+//! A [`FluidPool`] holds a set of capacitated **links** (network links, a
+//! socket's memory controller, a NIC injection port, a disk channel) and a
+//! set of active **flows**. Each flow moves a volume across a route (a set of
+//! links) and may carry its own rate cap (the demand limit of the producing
+//! core). Whenever the flow set changes, rates are recomputed by progressive
+//! filling (water-filling), the classic max-min fair allocation also used by
+//! SimGrid-style platform simulators:
+//!
+//! 1. all flows start unfrozen with rate 0;
+//! 2. find the bottleneck: the smallest of (a) `residual(link) / unfrozen(link)`
+//!    over saturated-able links and (b) the smallest unfrozen flow cap;
+//! 3. freeze the constrained flows at that level, subtract from residuals;
+//! 4. repeat until every flow is frozen.
+//!
+//! Completion events are scheduled per flow and invalidated by a generation
+//! counter when a recomputation changes the flow's finish estimate.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+use crate::executor::SimHandle;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a link within one [`FluidPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(pub(crate) usize);
+
+/// Bytes below which a flow is considered drained (guards float round-off).
+const VOLUME_EPS: f64 = 1e-6;
+
+struct Link {
+    capacity: f64, // bytes/s
+    /// Cumulative bytes carried (for utilization reports).
+    carried: f64,
+}
+
+struct Flow {
+    route: Box<[LinkId]>,
+    remaining: f64,
+    rate: f64,
+    cap: f64,
+    last_update: SimTime,
+    generation: u64,
+    waker: Option<Waker>,
+    done: bool,
+}
+
+struct PoolInner {
+    links: Vec<Link>,
+    flows: HashMap<u64, Flow>,
+    next_flow: u64,
+}
+
+/// A shared pool of capacitated links with max-min fair flows.
+#[derive(Clone)]
+pub struct FluidPool {
+    handle: SimHandle,
+    inner: Rc<RefCell<PoolInner>>,
+}
+
+impl FluidPool {
+    /// Create an empty pool.
+    pub fn new(handle: SimHandle) -> Self {
+        FluidPool {
+            handle,
+            inner: Rc::new(RefCell::new(PoolInner {
+                links: Vec::new(),
+                flows: HashMap::new(),
+                next_flow: 0,
+            })),
+        }
+    }
+
+    /// Add a link with `capacity` bytes/s; returns its id.
+    pub fn add_link(&self, capacity: f64) -> LinkId {
+        assert!(capacity > 0.0, "link capacity must be positive");
+        let mut inner = self.inner.borrow_mut();
+        inner.links.push(Link {
+            capacity,
+            carried: 0.0,
+        });
+        LinkId(inner.links.len() - 1)
+    }
+
+    /// Number of links in the pool.
+    pub fn link_count(&self) -> usize {
+        self.inner.borrow().links.len()
+    }
+
+    /// Cumulative bytes carried over `link`.
+    pub fn carried(&self, link: LinkId) -> f64 {
+        self.inner.borrow().links[link.0].carried
+    }
+
+    /// Start a transfer of `volume` bytes across `route`, optionally capped
+    /// at `rate_cap` bytes/s; resolves when the last byte arrives.
+    ///
+    /// A zero/negative volume or an empty route completes immediately.
+    pub fn transfer(&self, route: &[LinkId], volume: f64, rate_cap: Option<f64>) -> Transfer {
+        if volume <= VOLUME_EPS || route.is_empty() {
+            return Transfer {
+                pool: self.clone(),
+                flow: None,
+            };
+        }
+        let cap = rate_cap.unwrap_or(f64::INFINITY);
+        assert!(cap > 0.0, "rate cap must be positive");
+        let now = self.handle.now();
+        let id = {
+            let mut inner = self.inner.borrow_mut();
+            for l in route {
+                assert!(l.0 < inner.links.len(), "unknown link {l:?}");
+            }
+            let id = inner.next_flow;
+            inner.next_flow += 1;
+            inner.flows.insert(
+                id,
+                Flow {
+                    route: route.to_vec().into_boxed_slice(),
+                    remaining: volume,
+                    rate: 0.0,
+                    cap,
+                    last_update: now,
+                    generation: 0,
+                    waker: None,
+                    done: false,
+                },
+            );
+            id
+        };
+        self.rebalance();
+        Transfer {
+            pool: self.clone(),
+            flow: Some(id),
+        }
+    }
+
+    /// Advance all flow volumes to `now`, then recompute max-min rates and
+    /// reschedule completion events.
+    fn rebalance(&self) {
+        let now = self.handle.now();
+        let mut completions: Vec<(u64, u64, SimTime)> = Vec::new();
+        {
+            let mut inner = self.inner.borrow_mut();
+            let inner = &mut *inner;
+            // 1. advance
+            for flow in inner.flows.values_mut() {
+                if flow.done {
+                    continue;
+                }
+                let dt = now.duration_since(flow.last_update).as_secs_f64();
+                if dt > 0.0 && flow.rate > 0.0 {
+                    let moved = flow.rate * dt;
+                    flow.remaining = (flow.remaining - moved).max(0.0);
+                    for l in flow.route.iter() {
+                        inner.links[l.0].carried += moved;
+                    }
+                }
+                flow.last_update = now;
+            }
+            // 2. water-fill. Sort by flow id: HashMap iteration order must
+            // never leak into event scheduling order (determinism).
+            let mut active: Vec<u64> = inner
+                .flows
+                .iter()
+                .filter(|(_, f)| !f.done)
+                .map(|(&id, _)| id)
+                .collect();
+            active.sort_unstable();
+            let rates = water_fill(&inner.links, &inner.flows, &active);
+            // 3. apply + schedule completions
+            for id in active {
+                let flow = inner.flows.get_mut(&id).expect("flow exists");
+                flow.rate = rates[&id];
+                flow.generation += 1;
+                if flow.remaining <= VOLUME_EPS {
+                    completions.push((id, flow.generation, now));
+                } else if flow.rate > 0.0 {
+                    let eta = now + SimDuration::from_secs_f64(flow.remaining / flow.rate);
+                    completions.push((id, flow.generation, eta));
+                }
+                // rate == 0 with volume left cannot happen: every flow gets a
+                // positive share because link capacities are positive.
+            }
+        }
+        for (id, gen, at) in completions {
+            let pool = self.clone();
+            self.handle.call_at(at, move || pool.on_completion(id, gen));
+        }
+    }
+
+    fn on_completion(&self, id: u64, gen: u64) {
+        {
+            let inner = self.inner.borrow();
+            match inner.flows.get(&id) {
+                Some(f) if f.generation == gen && !f.done => {}
+                _ => return, // stale event
+            }
+        }
+        // Settle volumes as of now; this flow should be (numerically) drained.
+        let now = self.handle.now();
+        let waker = {
+            let mut inner = self.inner.borrow_mut();
+            let inner = &mut *inner;
+            let flow = inner.flows.get_mut(&id).expect("checked above");
+            let dt = now.duration_since(flow.last_update).as_secs_f64();
+            let moved = (flow.rate * dt).min(flow.remaining);
+            flow.remaining -= moved;
+            for l in flow.route.iter() {
+                inner.links[l.0].carried += moved;
+            }
+            flow.last_update = now;
+            if flow.remaining > VOLUME_EPS {
+                // Completion fired fractionally early due to ps rounding;
+                // re-arm for the residual.
+                None
+            } else {
+                flow.done = true;
+                flow.remaining = 0.0;
+                flow.waker.take()
+            }
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+        // Either the flow finished (free its bandwidth for others) or the
+        // event fired a hair early (re-arm for the residual): both need a
+        // fresh allocation pass.
+        self.rebalance();
+    }
+
+    fn drop_flow(&self, id: u64) {
+        let removed = self.inner.borrow_mut().flows.remove(&id).is_some();
+        if removed {
+            // Note: rates for remaining flows improve; recompute.
+            self.rebalance();
+        }
+    }
+}
+
+/// Progressive-filling max-min allocation. Returns rate per active flow id.
+///
+/// Only links actually used by an active flow participate, so the cost is
+/// bounded by the active flow set, not the (possibly huge) link table.
+fn water_fill(links: &[Link], flows: &HashMap<u64, Flow>, active: &[u64]) -> HashMap<u64, f64> {
+    let mut rates: HashMap<u64, f64> = HashMap::with_capacity(active.len());
+    // residual capacity and unfrozen-user count, for used links only.
+    let mut used: HashMap<usize, (f64, usize)> = HashMap::new();
+    for &id in active {
+        for l in flows[&id].route.iter() {
+            let e = used.entry(l.0).or_insert((links[l.0].capacity, 0));
+            e.1 += 1;
+        }
+    }
+    let mut unfrozen: Vec<u64> = active.to_vec();
+    while !unfrozen.is_empty() {
+        // Bottleneck level: min over links of residual/users, and min flow cap.
+        let mut level = f64::INFINITY;
+        for (_, &(residual, users)) in used.iter() {
+            if users > 0 {
+                level = level.min(residual / users as f64);
+            }
+        }
+        for &id in &unfrozen {
+            level = level.min(flows[&id].cap);
+        }
+        debug_assert!(level.is_finite() && level >= 0.0);
+        // Freeze every flow constrained at this level: those whose cap == level
+        // or that cross a link whose fair share == level.
+        let mut frozen_this_round: Vec<u64> = Vec::new();
+        for &id in &unfrozen {
+            let f = &flows[&id];
+            let capped = f.cap <= level * (1.0 + 1e-12);
+            let bottlenecked = f.route.iter().any(|l| {
+                let (residual, users) = used[&l.0];
+                users > 0 && residual / users as f64 <= level * (1.0 + 1e-12)
+            });
+            if capped || bottlenecked {
+                frozen_this_round.push(id);
+            }
+        }
+        debug_assert!(!frozen_this_round.is_empty(), "water-filling must progress");
+        for &id in &frozen_this_round {
+            let rate = level.min(flows[&id].cap);
+            rates.insert(id, rate);
+            for l in flows[&id].route.iter() {
+                let e = used.get_mut(&l.0).expect("link registered");
+                e.0 = (e.0 - rate).max(0.0);
+                e.1 -= 1;
+            }
+        }
+        unfrozen.retain(|id| !rates.contains_key(id));
+    }
+    rates
+}
+
+/// Future returned by [`FluidPool::transfer`].
+pub struct Transfer {
+    pool: FluidPool,
+    flow: Option<u64>,
+}
+
+impl Future for Transfer {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let Some(id) = self.flow else {
+            return Poll::Ready(());
+        };
+        let mut inner = self.pool.inner.borrow_mut();
+        match inner.flows.get_mut(&id) {
+            Some(flow) if flow.done => {
+                drop(inner);
+                // Fully drained: remove the flow record.
+                self.pool.inner.borrow_mut().flows.remove(&id);
+                self.get_mut().flow = None;
+                Poll::Ready(())
+            }
+            Some(flow) => {
+                flow.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+            None => Poll::Ready(()),
+        }
+    }
+}
+
+impl Drop for Transfer {
+    fn drop(&mut self) {
+        // Cancelling a pending transfer releases its bandwidth.
+        if let Some(id) = self.flow.take() {
+            let done = self
+                .pool
+                .inner
+                .borrow()
+                .flows
+                .get(&id)
+                .map(|f| f.done)
+                .unwrap_or(true);
+            if done {
+                self.pool.inner.borrow_mut().flows.remove(&id);
+            } else {
+                self.pool.drop_flow(id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn run_transfers(
+        caps: &[f64],
+        // (route, volume, cap, start_delay_us)
+        jobs: &[(&[usize], f64, Option<f64>, u64)],
+    ) -> Vec<f64> {
+        let mut sim = Sim::new(0);
+        let pool = FluidPool::new(sim.handle());
+        let links: Vec<LinkId> = caps.iter().map(|&c| pool.add_link(c)).collect();
+        let ends: Rc<RefCell<Vec<(usize, f64)>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, (route, vol, cap, delay)) in jobs.iter().enumerate() {
+            let pool = pool.clone();
+            let route: Vec<LinkId> = route.iter().map(|&r| links[r]).collect();
+            let ends = Rc::clone(&ends);
+            let h = sim.handle();
+            let (vol, cap, delay) = (*vol, *cap, *delay);
+            sim.spawn(async move {
+                h.sleep(SimDuration::from_us(delay)).await;
+                pool.transfer(&route, vol, cap).await;
+                ends.borrow_mut().push((i, h.now().as_secs_f64()));
+            });
+        }
+        sim.run();
+        let mut out = vec![0.0; jobs.len()];
+        for (i, t) in ends.borrow().iter() {
+            out[*i] = *t;
+        }
+        out
+    }
+
+    #[test]
+    fn single_flow_full_capacity() {
+        // 1000 bytes over a 1000 B/s link: exactly 1 second.
+        let ends = run_transfers(&[1000.0], &[(&[0], 1000.0, None, 0)]);
+        assert!((ends[0] - 1.0).abs() < 1e-9, "{}", ends[0]);
+    }
+
+    #[test]
+    fn two_flows_share_evenly() {
+        // Two identical flows on one link finish together in twice the time.
+        let ends = run_transfers(
+            &[1000.0],
+            &[(&[0], 1000.0, None, 0), (&[0], 1000.0, None, 0)],
+        );
+        assert!((ends[0] - 2.0).abs() < 1e-6);
+        assert!((ends[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn late_joiner_slows_first_flow() {
+        // Flow A: 1000 B alone for 0.5 s (500 done), then shares: 500 left at
+        // 500 B/s => +1 s => ends at 1.5 s. Flow B: starts at 0.5, runs at 500
+        // until A ends (500 done at t=1.5), then 500 left at full speed => 2.0 s.
+        let ends = run_transfers(
+            &[1000.0],
+            &[(&[0], 1000.0, None, 0), (&[0], 1000.0, None, 500_000)],
+        );
+        assert!((ends[0] - 1.5).abs() < 1e-6, "A={}", ends[0]);
+        assert!((ends[1] - 2.0).abs() < 1e-6, "B={}", ends[1]);
+    }
+
+    #[test]
+    fn rate_cap_binds_below_fair_share() {
+        // Capped flow at 100 B/s on a 1000 B/s link leaves 900 for the other.
+        let ends = run_transfers(
+            &[1000.0],
+            &[
+                (&[0], 100.0, Some(100.0), 0), // 1 s
+                (&[0], 900.0, None, 0),        // 900/900 = 1 s
+            ],
+        );
+        assert!((ends[0] - 1.0).abs() < 1e-6);
+        assert!((ends[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multi_link_route_bottleneck() {
+        // Route crosses a fast then a slow link; slow one binds.
+        let ends = run_transfers(&[10_000.0, 1000.0], &[(&[0, 1], 1000.0, None, 0)]);
+        assert!((ends[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_traffic_on_one_link_only() {
+        // Flow A uses links 0+1; flow B uses link 1 only. Link 1 (1000 B/s) is
+        // shared 500/500; link 0 has slack.
+        let ends = run_transfers(
+            &[10_000.0, 1000.0],
+            &[(&[0, 1], 500.0, None, 0), (&[1], 500.0, None, 0)],
+        );
+        assert!((ends[0] - 1.0).abs() < 1e-6, "{:?}", ends);
+        assert!((ends[1] - 1.0).abs() < 1e-6, "{:?}", ends);
+    }
+
+    #[test]
+    fn water_fill_redistributes_capped_slack() {
+        // Link 1000 B/s, flow A capped at 200, flow B uncapped -> B gets 800.
+        let ends = run_transfers(
+            &[1000.0],
+            &[
+                (&[0], 200.0, Some(200.0), 0), // 1 s
+                (&[0], 800.0, None, 0),        // 1 s at 800 B/s
+            ],
+        );
+        assert!((ends[0] - 1.0).abs() < 1e-6);
+        assert!((ends[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn carried_accounting() {
+        let mut sim = Sim::new(0);
+        let pool = FluidPool::new(sim.handle());
+        let l = pool.add_link(1000.0);
+        let p2 = pool.clone();
+        sim.spawn(async move {
+            p2.transfer(&[l], 1234.0, None).await;
+        });
+        sim.run();
+        assert!((pool.carried(l) - 1234.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_volume_completes_instantly() {
+        let mut sim = Sim::new(0);
+        let pool = FluidPool::new(sim.handle());
+        let l = pool.add_link(1.0);
+        let h = sim.handle();
+        sim.spawn(async move {
+            pool.transfer(&[l], 0.0, None).await;
+            assert_eq!(h.now(), SimTime::ZERO);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn cancelled_transfer_releases_bandwidth() {
+        let mut sim = Sim::new(0);
+        let pool = FluidPool::new(sim.handle());
+        let l = pool.add_link(1000.0);
+        let h = sim.handle();
+        let p1 = pool.clone();
+        // Holder: starts a huge transfer, abandons it at t=1s.
+        sim.spawn(async move {
+            let tr = p1.transfer(&[l], 1.0e9, None);
+            let sleep = h.sleep(SimDuration::from_secs_f64(1.0));
+            // Race the transfer against the timer; the timer wins.
+            futures_select(tr, sleep).await;
+        });
+        let h2 = sim.handle();
+        let p2 = pool.clone();
+        let end = Rc::new(RefCell::new(0.0));
+        let e2 = Rc::clone(&end);
+        sim.spawn(async move {
+            h2.sleep(SimDuration::from_secs_f64(1.0)).await;
+            // After the holder is gone we get the full link: 1000 B in 1 s.
+            p2.transfer(&[l], 1000.0, None).await;
+            *e2.borrow_mut() = h2.now().as_secs_f64();
+        });
+        sim.run();
+        assert!((*end.borrow() - 2.0).abs() < 1e-6, "{}", end.borrow());
+    }
+
+    /// Minimal 2-future select used by the cancellation test.
+    async fn futures_select<A: Future + Unpin, B: Future + Unpin>(a: A, b: B) {
+        struct Select<A, B>(A, B);
+        impl<A: Future + Unpin, B: Future + Unpin> Future for Select<A, B> {
+            type Output = ();
+            fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                if Pin::new(&mut self.0).poll(cx).is_ready() {
+                    return Poll::Ready(());
+                }
+                if Pin::new(&mut self.1).poll(cx).is_ready() {
+                    return Poll::Ready(());
+                }
+                Poll::Pending
+            }
+        }
+        Select(a, b).await
+    }
+}

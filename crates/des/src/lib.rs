@@ -1,0 +1,47 @@
+//! # xtsim-des — deterministic discrete-event simulation engine
+//!
+//! The foundation of the Cray XT4 evaluation reproduction: a single-threaded
+//! async executor driven by a virtual clock, plus the shared-resource models
+//! every higher layer builds on.
+//!
+//! * [`Sim`] / [`SimHandle`] — event heap, task executor, timers, spawning,
+//!   deterministic RNG streams.
+//! * [`channel`] / [`oneshot`] — intra-simulation message queues.
+//! * [`FifoStation`] — `k`-server FCFS queueing station (NICs, metadata
+//!   servers, disks).
+//! * [`FluidPool`] — max-min fair bandwidth sharing over capacitated links
+//!   (torus links, memory controllers, injection ports).
+//!
+//! ## Example
+//!
+//! ```
+//! use xtsim_des::{Sim, SimDuration};
+//!
+//! let mut sim = Sim::new(0);
+//! let h = sim.handle();
+//! sim.spawn(async move {
+//!     h.sleep(SimDuration::from_us(3)).await;
+//! });
+//! let end = sim.run();
+//! assert_eq!(end.as_ps(), 3_000_000);
+//! ```
+
+#![warn(missing_docs)]
+
+mod channel;
+mod combinators;
+mod executor;
+mod fluid;
+mod resource;
+mod sync;
+mod time;
+mod trace;
+
+pub use channel::{channel, oneshot, OneshotReceiver, OneshotSender, Receiver, RecvError, Sender};
+pub use combinators::{join2, join_all, select2, Either, Join2, JoinAll, Select2};
+pub use executor::{JoinHandle, Sim, SimHandle, Sleep, YieldNow};
+pub use fluid::{FluidPool, LinkId, Transfer};
+pub use resource::FifoStation;
+pub use sync::{Notify, Semaphore, SemaphoreGuard, SimBarrier};
+pub use trace::{TraceEvent, Tracer};
+pub use time::{SimDuration, SimTime, PS_PER_SEC};

@@ -1,0 +1,208 @@
+//! Lightweight event tracing for simulation debugging.
+//!
+//! A [`Tracer`] is a bounded ring buffer of `(time, category, label)`
+//! records. Components log milestones (message injected, flow completed,
+//! rank entered a collective); the buffer can be filtered and dumped as
+//! text. Tracing is opt-in and cheap: a disabled tracer drops records
+//! without formatting them.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::time::SimTime;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub time: SimTime,
+    /// Category tag (e.g. "nic", "mpi", "flow").
+    pub category: &'static str,
+    /// Human-readable description.
+    pub label: String,
+}
+
+struct TracerInner {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+/// A shared, bounded trace buffer.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Rc<RefCell<TracerInner>>,
+}
+
+impl Tracer {
+    /// A tracer retaining the most recent `capacity` events.
+    pub fn new(capacity: usize) -> Tracer {
+        Tracer {
+            inner: Rc::new(RefCell::new(TracerInner {
+                events: VecDeque::with_capacity(capacity.min(4096)),
+                capacity: capacity.max(1),
+                enabled: true,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// A disabled tracer: records are discarded without cost.
+    pub fn disabled() -> Tracer {
+        let t = Tracer::new(1);
+        t.inner.borrow_mut().enabled = false;
+        t
+    }
+
+    /// Is recording active?
+    pub fn is_enabled(&self) -> bool {
+        self.inner.borrow().enabled
+    }
+
+    /// Enable/disable recording.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.borrow_mut().enabled = on;
+    }
+
+    /// Record an event (lazily formatted: the closure only runs when
+    /// recording is active).
+    pub fn record(&self, time: SimTime, category: &'static str, label: impl FnOnce() -> String) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.enabled {
+            return;
+        }
+        if inner.events.len() == inner.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        let label = label();
+        inner.events.push_back(TraceEvent {
+            time,
+            category,
+            label,
+        });
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().events.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped
+    }
+
+    /// Snapshot of retained events, oldest first, optionally filtered by
+    /// category.
+    pub fn events(&self, category: Option<&str>) -> Vec<TraceEvent> {
+        self.inner
+            .borrow()
+            .events
+            .iter()
+            .filter(|e| category.is_none_or(|c| e.category == c))
+            .cloned()
+            .collect()
+    }
+
+    /// Text dump, one event per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for e in self.inner.borrow().events.iter() {
+            out.push_str(&format!(
+                "[{:>14}] {:>6}  {}\n",
+                format!("{}", e.time),
+                e.category,
+                e.label
+            ));
+        }
+        let dropped = self.inner.borrow().dropped;
+        if dropped > 0 {
+            out.push_str(&format!("({dropped} earlier events dropped)\n"));
+        }
+        out
+    }
+
+    /// Clear all retained events (keeps the drop counter).
+    pub fn clear(&self) {
+        self.inner.borrow_mut().events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ps: u64) -> SimTime {
+        SimTime::from_ps(ps)
+    }
+
+    #[test]
+    fn records_in_order_and_filters() {
+        let tr = Tracer::new(16);
+        tr.record(t(10), "nic", || "inject".into());
+        tr.record(t(20), "mpi", || "send".into());
+        tr.record(t(30), "nic", || "deliver".into());
+        assert_eq!(tr.len(), 3);
+        let nic = tr.events(Some("nic"));
+        assert_eq!(nic.len(), 2);
+        assert_eq!(nic[0].label, "inject");
+        assert_eq!(nic[1].time, t(30));
+        assert_eq!(tr.events(None).len(), 3);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let tr = Tracer::new(3);
+        for i in 0..5u64 {
+            tr.record(t(i), "x", || format!("e{i}"));
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.dropped(), 2);
+        let ev = tr.events(None);
+        assert_eq!(ev[0].label, "e2");
+        assert_eq!(ev[2].label, "e4");
+        assert!(tr.dump().contains("2 earlier events dropped"));
+    }
+
+    #[test]
+    fn disabled_tracer_skips_formatting() {
+        let tr = Tracer::disabled();
+        let mut formatted = false;
+        tr.record(t(1), "x", || {
+            formatted = true;
+            "never".into()
+        });
+        assert!(!formatted);
+        assert!(tr.is_empty());
+        tr.set_enabled(true);
+        tr.record(t(2), "x", || "now".into());
+        assert_eq!(tr.len(), 1);
+    }
+
+    #[test]
+    fn dump_formats_lines() {
+        let tr = Tracer::new(4);
+        tr.record(t(1_000_000), "mpi", || "allreduce enter".into());
+        let d = tr.dump();
+        assert!(d.contains("mpi"));
+        assert!(d.contains("allreduce enter"));
+    }
+
+    #[test]
+    fn clear_retains_drop_count() {
+        let tr = Tracer::new(1);
+        tr.record(t(1), "x", || "a".into());
+        tr.record(t(2), "x", || "b".into());
+        tr.clear();
+        assert!(tr.is_empty());
+        assert_eq!(tr.dropped(), 1);
+    }
+}

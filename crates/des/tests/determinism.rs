@@ -1,0 +1,28 @@
+//! Cross-run determinism: identical programs must produce identical
+//! schedules, including under fluid-model contention.
+
+use xtsim_des::{FluidPool, Sim, SimDuration};
+
+fn contention_run(seed: u64) -> u64 {
+    let mut sim = Sim::new(seed);
+    let pool = FluidPool::new(sim.handle());
+    let links: Vec<_> = (0..4).map(|_| pool.add_link(1000.0)).collect();
+    for i in 0..16u64 {
+        let pool = pool.clone();
+        let h = sim.handle();
+        let route = vec![links[(i % 4) as usize], links[((i + 1) % 4) as usize]];
+        sim.spawn(async move {
+            h.sleep(SimDuration::from_ns(i * 7)).await;
+            pool.transfer(&route, 500.0 + i as f64 * 13.0, None).await;
+        });
+    }
+    sim.run().as_ps()
+}
+
+#[test]
+fn fluid_contention_is_deterministic_across_runs() {
+    let first = contention_run(42);
+    for _ in 0..5 {
+        assert_eq!(contention_run(42), first);
+    }
+}

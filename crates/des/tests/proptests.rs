@@ -1,0 +1,115 @@
+//! Property-based tests over the discrete-event engine.
+
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use xtsim_des::{FifoStation, FluidPool, Sim, SimDuration};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Timers fire in nondecreasing time order regardless of spawn order.
+    #[test]
+    fn timers_fire_in_time_order(delays in prop::collection::vec(0u64..1_000_000, 1..40)) {
+        let mut sim = Sim::new(0);
+        let fired: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        for &d in &delays {
+            let h = sim.handle();
+            let fired = Rc::clone(&fired);
+            sim.spawn(async move {
+                h.sleep(SimDuration::from_ns(d)).await;
+                fired.borrow_mut().push(h.now().as_ps());
+            });
+        }
+        let end = sim.run();
+        let fired = fired.borrow();
+        prop_assert_eq!(fired.len(), delays.len());
+        for w in fired.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        let max = delays.iter().max().copied().unwrap_or(0);
+        prop_assert_eq!(end.as_ps(), max * 1000);
+    }
+
+    /// A FIFO station conserves work: makespan >= total service / servers,
+    /// and >= the largest single service.
+    #[test]
+    fn station_conserves_work(
+        servers in 1usize..4,
+        services in prop::collection::vec(1u64..10_000, 1..30),
+    ) {
+        let mut sim = Sim::new(0);
+        let st = FifoStation::new(sim.handle(), servers);
+        for &svc in &services {
+            let st = st.clone();
+            sim.spawn(async move {
+                st.serve(SimDuration::from_ns(svc)).await;
+            });
+        }
+        let end = sim.run().as_ps();
+        let total: u64 = services.iter().sum::<u64>() * 1000;
+        let max = services.iter().max().copied().unwrap_or(0) * 1000;
+        prop_assert!(end >= total / servers as u64);
+        prop_assert!(end >= max);
+        prop_assert!(end <= total, "FIFO never slower than fully serial");
+        prop_assert_eq!(st.busy_time().as_ps(), total);
+    }
+
+    /// Fluid transfers on one link: each flow takes at least volume/capacity,
+    /// the makespan is at least total/capacity (conservation), and all bytes
+    /// are accounted for.
+    #[test]
+    fn fluid_conserves_bytes(volumes in prop::collection::vec(1.0f64..100_000.0, 1..16)) {
+        let capacity = 1.0e6;
+        let mut sim = Sim::new(0);
+        let pool = FluidPool::new(sim.handle());
+        let link = pool.add_link(capacity);
+        let ends: Rc<RefCell<Vec<(f64, f64)>>> = Rc::new(RefCell::new(Vec::new()));
+        for &v in &volumes {
+            let pool = pool.clone();
+            let ends = Rc::clone(&ends);
+            let h = sim.handle();
+            sim.spawn(async move {
+                pool.transfer(&[link], v, None).await;
+                ends.borrow_mut().push((v, h.now().as_secs_f64()));
+            });
+        }
+        let makespan = sim.run().as_secs_f64();
+        let total: f64 = volumes.iter().sum();
+        prop_assert!(makespan >= total / capacity * (1.0 - 1e-9),
+            "makespan {} < conservation bound {}", makespan, total / capacity);
+        for &(v, t) in ends.borrow().iter() {
+            prop_assert!(t >= v / capacity * (1.0 - 1e-9));
+        }
+        prop_assert!((pool.carried(link) - total).abs() < 1e-3 * total.max(1.0));
+    }
+
+    /// Max-min fairness: two simultaneous equal flows finish together, and
+    /// a capped flow never exceeds its cap.
+    #[test]
+    fn fluid_fairness_and_caps(volume in 1000.0f64..100_000.0, cap_frac in 0.05f64..0.45) {
+        let capacity = 1.0e6;
+        let cap = capacity * cap_frac;
+        let mut sim = Sim::new(0);
+        let pool = FluidPool::new(sim.handle());
+        let link = pool.add_link(capacity);
+        let times: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(vec![0.0; 2]));
+        for i in 0..2usize {
+            let pool = pool.clone();
+            let times = Rc::clone(&times);
+            let h = sim.handle();
+            let rate_cap = if i == 0 { Some(cap) } else { None };
+            sim.spawn(async move {
+                pool.transfer(&[link], volume, rate_cap).await;
+                times.borrow_mut()[i] = h.now().as_secs_f64();
+            });
+        }
+        sim.run();
+        let t = times.borrow();
+        // Capped flow can never beat volume/cap.
+        prop_assert!(t[0] >= volume / cap * (1.0 - 1e-9));
+        // Uncapped flow gets at least the leftover capacity.
+        prop_assert!(t[1] <= volume / (capacity - cap) * (1.0 + 1e-6) + 1e-9);
+    }
+}

@@ -1,0 +1,150 @@
+//! Bidirectional MPI latency/bandwidth vs message size — the paper's §5.2
+//! (Figures 12 and 13): one pair of tasks across two nodes ("0-1
+//! internode"), and the worst case of two concurrent pairs between the same
+//! two nodes in VN mode ("i-(i+2), i=0,1 (VN)").
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use xtsim_machine::{ExecMode, MachineSpec};
+use xtsim_mpi::{simulate, CollectiveMode, Message};
+
+use crate::util::job;
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct BidirPoint {
+    /// Message size, bytes.
+    pub bytes: u64,
+    /// Per-pair bidirectional bandwidth, MB/s.
+    pub bandwidth_mbs: f64,
+    /// Per-message one-way latency, µs.
+    pub latency_us: f64,
+}
+
+/// Measure one message size. `pairs` is 1 (one pair across two nodes) or 2
+/// (both cores of node 0 exchanging with both cores of node 1 — VN only).
+pub fn bidir_point(machine: &MachineSpec, mode: ExecMode, pairs: usize, bytes: u64) -> BidirPoint {
+    let rpn = machine.ranks_per_node(mode);
+    assert!(
+        pairs <= rpn,
+        "two-pair experiment needs VN mode (2 ranks/node)"
+    );
+    let ranks = 2 * rpn; // two nodes
+    let reps = if bytes >= 1 << 20 { 3u64 } else { 10 };
+    let cfg = job(machine, mode, ranks, CollectiveMode::Algorithmic);
+    let elapsed = Rc::new(RefCell::new(0.0f64));
+    let e2 = Rc::clone(&elapsed);
+    simulate(5, cfg, move |mpi| {
+        let elapsed = Rc::clone(&e2);
+        async move {
+            let r = mpi.rank();
+            let node = r / rpn;
+            let lane = r % rpn;
+            if lane >= pairs {
+                return; // idle core (SN mode or 1-pair experiment)
+            }
+            // Pair: (node0, lane) <-> (node1, lane), i.e. ranks lane and rpn+lane.
+            let peer = if node == 0 { rpn + lane } else { lane };
+            let t0 = mpi.now();
+            for i in 0..reps {
+                // Both sides send simultaneously (bidirectional exchange).
+                let s = mpi.isend(peer, i, Message::of_bytes(bytes));
+                mpi.recv(Some(peer), Some(i)).await;
+                s.await;
+            }
+            let dt = (mpi.now() - t0).as_secs_f64();
+            let mut e = elapsed.borrow_mut();
+            *e = e.max(dt);
+        }
+    });
+    let t = *elapsed.borrow() / reps as f64; // one exchange (send+recv overlap)
+    BidirPoint {
+        bytes,
+        // Each pair moves 2×bytes per exchange.
+        bandwidth_mbs: 2.0 * bytes as f64 / t / 1e6,
+        latency_us: t * 1e6,
+    }
+}
+
+/// Standard sweep of message sizes (8 B … 8 MB), log-spaced like Figure 12/13.
+pub fn sweep_sizes() -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut b = 8u64;
+    while b <= 8 << 20 {
+        v.push(b);
+        b *= 4;
+    }
+    v
+}
+
+/// Full sweep for one machine/mode/pair-count.
+pub fn bidir_sweep(machine: &MachineSpec, mode: ExecMode, pairs: usize) -> Vec<BidirPoint> {
+    sweep_sizes()
+        .into_iter()
+        .map(|b| bidir_point(machine, mode, pairs, b))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtsim_machine::presets;
+
+    #[test]
+    fn xt4_large_message_bidir_beats_xt3_by_1_8x() {
+        // The paper: "dual-core XT4 bidirectional bandwidth is at least 1.8
+        // times that of the dual-core XT3 for message sizes over 100,000 B".
+        let big = 1 << 20;
+        let xt3 = bidir_point(&presets::xt3_dual(), ExecMode::VN, 1, big);
+        let xt4 = bidir_point(&presets::xt4(), ExecMode::VN, 1, big);
+        let ratio = xt4.bandwidth_mbs / xt3.bandwidth_mbs;
+        assert!(ratio >= 1.7, "ratio {ratio}");
+    }
+
+    #[test]
+    fn two_pairs_halve_per_pair_bandwidth() {
+        // Paper: "the two-pair experiments achieve exactly half the per pair
+        // bidirectional bandwidth as the single-pair experiments".
+        let big = 4 << 20;
+        let one = bidir_point(&presets::xt4(), ExecMode::VN, 1, big);
+        let two = bidir_point(&presets::xt4(), ExecMode::VN, 2, big);
+        let ratio = one.bandwidth_mbs / two.bandwidth_mbs;
+        assert!((ratio - 2.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn two_pair_small_message_latency_over_twice_single_pair() {
+        // Paper: two-pair latency on dual-core systems is over twice the
+        // single-pair latency (NIC serialization).
+        let one = bidir_point(&presets::xt4(), ExecMode::VN, 1, 8);
+        let two = bidir_point(&presets::xt4(), ExecMode::VN, 2, 8);
+        assert!(
+            two.latency_us > 1.5 * one.latency_us,
+            "{} vs {}",
+            two.latency_us,
+            one.latency_us
+        );
+    }
+
+    #[test]
+    fn bandwidth_monotone_in_message_size() {
+        let sweep = bidir_sweep(&presets::xt4(), ExecMode::SN, 1);
+        for w in sweep.windows(2) {
+            assert!(
+                w[1].bandwidth_mbs > w[0].bandwidth_mbs * 0.8,
+                "{:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn rendezvous_step_visible_in_latency() {
+        // Crossing the eager threshold must not *reduce* latency.
+        let below = bidir_point(&presets::xt4(), ExecMode::SN, 1, 60_000);
+        let above = bidir_point(&presets::xt4(), ExecMode::SN, 1, 70_000);
+        assert!(above.latency_us > below.latency_us);
+    }
+}

@@ -1,0 +1,19 @@
+//! # xtsim-hpcc — the HPC Challenge suite on the simulated XT platform
+//!
+//! Reproduces the paper's entire micro-benchmark section (§5):
+//!
+//! * [`netbench`] — ping-pong and ring latency/bandwidth (Figures 2–3);
+//! * [`local`] — SP/EP FFT, DGEMM, RandomAccess, STREAM (Figures 4–7);
+//! * [`global`] — HPL, MPI-FFT, PTRANS, MPI-RandomAccess sweeps
+//!   (Figures 8–11);
+//! * [`bidir`] — the bidirectional bandwidth/latency experiments of §5.2
+//!   (Figures 12–13).
+
+#![warn(missing_docs)]
+
+pub mod bidir;
+pub mod global;
+pub mod local;
+pub mod netbench;
+pub mod summary;
+pub mod util;

@@ -1,0 +1,153 @@
+//! Node-local HPCC kernels in SP and EP modes — the paper's Figures 4–7.
+//!
+//! SP ("single process") runs one rank on one socket; EP ("embarrassingly
+//! parallel") runs one rank per core on every socket with no communication.
+//! The interesting quantity is the *per-core* rate: temporal-locality
+//! kernels keep it in EP mode, bandwidth/latency-bound kernels lose it.
+
+use xtsim_machine::{ExecMode, MachineSpec, WorkPacket};
+use xtsim_mpi::{simulate, CollectiveMode};
+
+use crate::util::job;
+use xtsim_kernels::workmodel;
+
+/// Which local kernel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalKernel {
+    /// 2^20-point complex FFT (Figure 4), GFLOPS.
+    Fft,
+    /// 2000×2000 matrix multiply (Figure 5), GFLOPS.
+    Dgemm,
+    /// RandomAccess over a 512 MiB table (Figure 6), GUPS.
+    RandomAccess,
+    /// STREAM triad over 8M elements (Figure 7), GB/s.
+    StreamTriad,
+}
+
+impl LocalKernel {
+    /// The work packet one repetition of this kernel prices to.
+    pub fn packet(self, machine: &MachineSpec) -> WorkPacket {
+        match self {
+            LocalKernel::Fft => workmodel::fft_packet(1 << 20),
+            LocalKernel::Dgemm => workmodel::dgemm_packet(2000, machine),
+            LocalKernel::RandomAccess => workmodel::random_access_packet(1 << 22),
+            LocalKernel::StreamTriad => workmodel::stream_triad_packet(8_000_000),
+        }
+    }
+
+    /// Convert elapsed seconds per repetition into the figure's metric.
+    pub fn metric(self, machine: &MachineSpec, secs: f64) -> f64 {
+        let w = self.packet(machine);
+        match self {
+            LocalKernel::Fft | LocalKernel::Dgemm => w.flops / secs / 1e9,
+            LocalKernel::RandomAccess => w.random_refs / secs / 1e9,
+            LocalKernel::StreamTriad => w.shared_dram_bytes / secs / 1e9,
+        }
+    }
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            LocalKernel::Fft => "FFT (GFLOPS)",
+            LocalKernel::Dgemm => "DGEMM (GFLOPS)",
+            LocalKernel::RandomAccess => "RandomAccess (GUPS)",
+            LocalKernel::StreamTriad => "Stream Triad (GB/s)",
+        }
+    }
+}
+
+/// SP and EP per-core results.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalResult {
+    /// Single-process rate (one core active on the socket).
+    pub sp: f64,
+    /// Embarrassingly-parallel *per-core* rate (all cores active).
+    pub ep: f64,
+}
+
+fn run_ranks(machine: &MachineSpec, mode: ExecMode, ranks: usize, kernel: LocalKernel) -> f64 {
+    let cfg = job(machine, mode, ranks, CollectiveMode::Algorithmic);
+    let packet = kernel.packet(machine);
+    let out = simulate(3, cfg, move |mpi| async move {
+        mpi.compute(packet).await;
+    });
+    out.end_time.as_secs_f64()
+}
+
+/// Run one kernel in SP and EP on `machine` in `mode`.
+pub fn local_bench(machine: &MachineSpec, mode: ExecMode, kernel: LocalKernel) -> LocalResult {
+    // SP: a single rank; the socket's other core (if any) idles.
+    let sp_secs = run_ranks(machine, mode, 1, kernel);
+    // EP: every core of one socket active (per-core rate is what Figures
+    // 4-7 chart; sockets are independent so one socket suffices).
+    let ep_ranks = machine.ranks_per_node(mode);
+    let ep_secs = run_ranks(machine, mode, ep_ranks, kernel);
+    LocalResult {
+        sp: kernel.metric(machine, sp_secs),
+        ep: kernel.metric(machine, ep_secs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtsim_machine::presets;
+
+    #[test]
+    fn fft_ep_suffers_little_from_second_core() {
+        // Paper Figure 4: high temporal locality -> EP ~ SP.
+        let r = local_bench(&presets::xt4(), ExecMode::VN, LocalKernel::Fft);
+        assert!(r.ep / r.sp > 0.9, "sp {} ep {}", r.sp, r.ep);
+        assert!((r.sp - 0.63).abs() < 0.1, "XT4 FFT SP {}", r.sp);
+    }
+
+    #[test]
+    fn dgemm_ep_close_to_sp() {
+        let r = local_bench(&presets::xt4(), ExecMode::VN, LocalKernel::Dgemm);
+        assert!(r.ep / r.sp > 0.9, "sp {} ep {}", r.sp, r.ep);
+        assert!((r.sp - 4.5).abs() < 0.3, "XT4 DGEMM SP {}", r.sp);
+    }
+
+    #[test]
+    fn random_access_ep_halves_per_core() {
+        // Paper Figure 6: per-core EP GUPS is half SP (socket saturated).
+        let r = local_bench(&presets::xt4(), ExecMode::VN, LocalKernel::RandomAccess);
+        assert!((r.ep / r.sp - 0.5).abs() < 0.05, "sp {} ep {}", r.sp, r.ep);
+    }
+
+    #[test]
+    fn stream_ep_halves_per_core() {
+        // Paper Figure 7: one core saturates the controller.
+        let r = local_bench(&presets::xt4(), ExecMode::VN, LocalKernel::StreamTriad);
+        assert!((r.ep / r.sp - 0.5).abs() < 0.05, "sp {} ep {}", r.sp, r.ep);
+        assert!((r.sp - 7.3).abs() < 0.3, "XT4 triad {}", r.sp);
+    }
+
+    #[test]
+    fn xt3_single_core_ep_equals_sp() {
+        // One core per socket: EP and SP are the same machine state.
+        for k in [
+            LocalKernel::Fft,
+            LocalKernel::Dgemm,
+            LocalKernel::RandomAccess,
+            LocalKernel::StreamTriad,
+        ] {
+            let r = local_bench(&presets::xt3_single(), ExecMode::SN, k);
+            assert!((r.ep - r.sp).abs() / r.sp < 1e-6, "{k:?}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn xt4_improves_every_local_kernel_over_xt3() {
+        for k in [
+            LocalKernel::Fft,
+            LocalKernel::Dgemm,
+            LocalKernel::RandomAccess,
+            LocalKernel::StreamTriad,
+        ] {
+            let xt3 = local_bench(&presets::xt3_single(), ExecMode::SN, k);
+            let xt4 = local_bench(&presets::xt4(), ExecMode::SN, k);
+            assert!(xt4.sp > xt3.sp, "{k:?}: {} !> {}", xt4.sp, xt3.sp);
+        }
+    }
+}

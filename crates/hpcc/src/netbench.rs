@@ -1,0 +1,208 @@
+//! Network micro-benchmarks: ping-pong (min/avg/max) and the naturally- and
+//! randomly-ordered ring patterns of HPCC — the paper's Figures 2 and 3.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use xtsim_machine::{ExecMode, MachineSpec};
+use xtsim_mpi::{simulate, CollectiveMode, Message, Mpi};
+
+use crate::util::job;
+
+/// Message size used for latency measurements (HPCC convention: 8 bytes).
+pub const LAT_BYTES: u64 = 8;
+/// Message size used for bandwidth measurements (HPCC: 2,000,000 bytes).
+pub const BW_BYTES: u64 = 2_000_000;
+
+/// Figure 2/3 row: one machine × mode.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkResults {
+    /// Best-case one-way ping-pong latency, µs.
+    pub pp_min_us: f64,
+    /// Average one-way ping-pong latency, µs.
+    pub pp_avg_us: f64,
+    /// Worst-case one-way ping-pong latency, µs.
+    pub pp_max_us: f64,
+    /// Naturally-ordered ring per-message latency, µs.
+    pub nat_ring_us: f64,
+    /// Randomly-ordered ring per-message latency, µs.
+    pub rand_ring_us: f64,
+    /// Best / average / worst ping-pong bandwidth, GB/s.
+    pub pp_min_bw: f64,
+    /// Average ping-pong bandwidth, GB/s.
+    pub pp_avg_bw: f64,
+    /// Worst ping-pong bandwidth, GB/s.
+    pub pp_max_bw: f64,
+    /// Naturally-ordered ring per-rank outgoing bandwidth, GB/s.
+    pub nat_ring_bw: f64,
+    /// Randomly-ordered ring per-rank outgoing bandwidth, GB/s.
+    pub rand_ring_bw: f64,
+}
+
+/// One ping-pong measurement between node pair `(0, peer_node)`; in VN mode
+/// both cores of each node run pairs simultaneously (which is what exposes
+/// the NIC-sharing latency penalty of the paper).
+fn ping_pong(machine: &MachineSpec, mode: ExecMode, sockets: usize, peer_node: usize, bytes: u64) -> f64 {
+    let rpn = machine.ranks_per_node(mode);
+    let ranks = sockets * rpn;
+    let reps = if bytes > 1000 { 4u64 } else { 16 };
+    let cfg = job(machine, mode, ranks, CollectiveMode::Algorithmic);
+    let active = Rc::new(RefCell::new(0.0f64));
+    let active2 = Rc::clone(&active);
+    let out = simulate(11, cfg, move |mpi| {
+        let active = Rc::clone(&active2);
+        async move {
+            let r = mpi.rank();
+            let node = r / rpn;
+            let lane = r % rpn;
+            // Pairs: every core of node 0 with the same core of peer_node.
+            let (me_side, peer) = if node == 0 {
+                (0, peer_node * rpn + lane)
+            } else if node == peer_node {
+                (1, lane)
+            } else {
+                return;
+            };
+            let t0 = mpi.now();
+            for i in 0..reps {
+                if me_side == 0 {
+                    mpi.send(peer, i, Message::of_bytes(bytes)).await;
+                    mpi.recv(Some(peer), Some(i)).await;
+                } else {
+                    mpi.recv(Some(peer), Some(i)).await;
+                    mpi.send(peer, i, Message::of_bytes(bytes)).await;
+                }
+            }
+            let dt = (mpi.now() - t0).as_secs_f64();
+            let mut a = active.borrow_mut();
+            *a = a.max(dt);
+        }
+    });
+    let _ = out;
+    let elapsed = *active.borrow();
+    elapsed / (2.0 * reps as f64) // one-way time per message
+}
+
+/// Ring pattern: each rank exchanges with a left and right neighbour every
+/// iteration. `order[i]` gives the rank at ring position `i`.
+fn ring(machine: &MachineSpec, mode: ExecMode, sockets: usize, random: bool, bytes: u64) -> f64 {
+    let rpn = machine.ranks_per_node(mode);
+    let ranks = sockets * rpn;
+    let reps = if bytes > 1000 { 3u64 } else { 8 };
+    let cfg = job(machine, mode, ranks, CollectiveMode::Algorithmic);
+    // Ring order: identity (natural) or a seeded shuffle (random).
+    let mut order: Vec<usize> = (0..ranks).collect();
+    if random {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2024);
+        order.shuffle(&mut rng);
+    }
+    // position of each rank in the ring
+    let mut pos = vec![0usize; ranks];
+    for (i, &r) in order.iter().enumerate() {
+        pos[r] = i;
+    }
+    let order = Rc::new(order);
+    let pos = Rc::new(pos);
+    let out = simulate(12, cfg, move |mpi: Mpi| {
+        let order = Rc::clone(&order);
+        let pos = Rc::clone(&pos);
+        async move {
+            let p = mpi.size();
+            let my_pos = pos[mpi.rank()];
+            let right = order[(my_pos + 1) % p];
+            let left = order[(my_pos + p - 1) % p];
+            for i in 0..reps {
+                let s1 = mpi.isend(right, 2 * i, Message::of_bytes(bytes));
+                let s2 = mpi.isend(left, 2 * i + 1, Message::of_bytes(bytes));
+                mpi.recv(Some(left), Some(2 * i)).await;
+                mpi.recv(Some(right), Some(2 * i + 1)).await;
+                s1.await;
+                s2.await;
+            }
+        }
+    });
+    // Per-iteration each rank sends two messages; HPCC reports per-message time.
+    out.end_time.as_secs_f64() / (2.0 * reps as f64)
+}
+
+/// Run the full Figure 2 + Figure 3 measurement for one machine × mode.
+pub fn network_bench(machine: &MachineSpec, mode: ExecMode, sockets: usize) -> NetworkResults {
+    assert!(sockets >= 4, "need a few sockets for distance sampling");
+    let dims = xtsim_machine::fit_dims(sockets);
+    // Near / typical / far peer nodes inside the allocated partition.
+    let near = 1usize;
+    let far = {
+        let c = [dims[0] / 2, dims[1] / 2, dims[2] / 2];
+        (c[0] + c[1] * dims[0] + c[2] * dims[0] * dims[1]).min(sockets - 1)
+    };
+    let mid = (sockets / 2).max(1).min(sockets - 1);
+    let peers = [near, mid, far];
+
+    let lat: Vec<f64> = peers
+        .iter()
+        .map(|&p| ping_pong(machine, mode, sockets, p, LAT_BYTES) * 1e6)
+        .collect();
+    let bw: Vec<f64> = peers
+        .iter()
+        .map(|&p| {
+            let t = ping_pong(machine, mode, sockets, p, BW_BYTES);
+            BW_BYTES as f64 / t / 1e9
+        })
+        .collect();
+    let fmin = |v: &[f64]| v.iter().cloned().fold(f64::INFINITY, f64::min);
+    let fmax = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
+    let favg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+
+    NetworkResults {
+        pp_min_us: fmin(&lat),
+        pp_avg_us: favg(&lat),
+        pp_max_us: fmax(&lat),
+        nat_ring_us: ring(machine, mode, sockets, false, LAT_BYTES) * 1e6,
+        rand_ring_us: ring(machine, mode, sockets, true, LAT_BYTES) * 1e6,
+        pp_min_bw: fmax(&bw),
+        pp_avg_bw: favg(&bw),
+        pp_max_bw: fmin(&bw),
+        nat_ring_bw: {
+            let t = ring(machine, mode, sockets, false, BW_BYTES);
+            BW_BYTES as f64 / t / 1e9
+        },
+        rand_ring_bw: {
+            let t = ring(machine, mode, sockets, true, BW_BYTES);
+            BW_BYTES as f64 / t / 1e9
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtsim_machine::presets;
+
+    #[test]
+    fn xt4_sn_latency_near_paper_values() {
+        // Paper Figure 2: XT4 best-case ~4.5us in SN mode.
+        let r = network_bench(&presets::xt4(), ExecMode::SN, 32);
+        assert!(r.pp_min_us > 3.5 && r.pp_min_us < 5.5, "{}", r.pp_min_us);
+        assert!(r.pp_max_us >= r.pp_min_us);
+        assert!(r.rand_ring_us >= r.nat_ring_us * 0.9);
+    }
+
+    #[test]
+    fn xt4_pingpong_bandwidth_doubles_xt3() {
+        // Paper Figure 3: ~2.1 GB/s vs 1.15 GB/s.
+        let xt3 = network_bench(&presets::xt3_single(), ExecMode::SN, 16);
+        let xt4 = network_bench(&presets::xt4(), ExecMode::SN, 16);
+        assert!(xt3.pp_min_bw > 0.9 && xt3.pp_min_bw < 1.3, "{}", xt3.pp_min_bw);
+        assert!(xt4.pp_min_bw > 1.7 && xt4.pp_min_bw < 2.3, "{}", xt4.pp_min_bw);
+    }
+
+    #[test]
+    fn vn_mode_latency_worse_than_sn() {
+        let sn = network_bench(&presets::xt4(), ExecMode::SN, 16);
+        let vn = network_bench(&presets::xt4(), ExecMode::VN, 16);
+        assert!(vn.pp_avg_us > sn.pp_avg_us, "{} !> {}", vn.pp_avg_us, sn.pp_avg_us);
+        assert!(vn.rand_ring_us > sn.rand_ring_us);
+    }
+}

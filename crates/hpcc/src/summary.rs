@@ -1,0 +1,138 @@
+//! An `hpccoutf.txt`-style summary: every HPCC metric for one machine and
+//! mode, in one struct / one table — the way sites publish HPCC results.
+
+use xtsim_machine::{ExecMode, MachineSpec};
+
+use crate::global;
+use crate::local::{local_bench, LocalKernel};
+use crate::netbench::network_bench;
+
+/// The full HPCC result sheet for one configuration.
+#[derive(Debug, Clone)]
+pub struct HpccSummary {
+    /// Machine name.
+    pub machine: String,
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Sockets used for the global/network benchmarks.
+    pub sockets: usize,
+    /// Global HPL, TFLOPS.
+    pub hpl_tflops: f64,
+    /// Global MPI-FFT, GFLOPS.
+    pub mpifft_gflops: f64,
+    /// Global PTRANS, GB/s.
+    pub ptrans_gbs: f64,
+    /// Global MPI-RandomAccess, GUPS.
+    pub mpira_gups: f64,
+    /// Single-process / embarrassingly-parallel local kernels
+    /// (value, per-core EP value).
+    pub fft_sp_ep: (f64, f64),
+    /// DGEMM SP/EP, GFLOPS.
+    pub dgemm_sp_ep: (f64, f64),
+    /// STREAM triad SP/EP, GB/s.
+    pub stream_sp_ep: (f64, f64),
+    /// RandomAccess SP/EP, GUPS.
+    pub ra_sp_ep: (f64, f64),
+    /// Ping-pong min/avg/max latency, µs.
+    pub pp_latency_us: (f64, f64, f64),
+    /// Ping-pong bandwidth (best), GB/s.
+    pub pp_bandwidth_gbs: f64,
+    /// Random-ring latency µs / bandwidth GB/s (the b_eff pair).
+    pub random_ring: (f64, f64),
+}
+
+/// Run the whole suite for one configuration (reduced socket count).
+pub fn hpcc_summary(machine: &MachineSpec, mode: ExecMode, sockets: usize) -> HpccSummary {
+    let net = network_bench(machine, mode, sockets);
+    let fft = local_bench(machine, mode, LocalKernel::Fft);
+    let dgemm = local_bench(machine, mode, LocalKernel::Dgemm);
+    let stream = local_bench(machine, mode, LocalKernel::StreamTriad);
+    let ra = local_bench(machine, mode, LocalKernel::RandomAccess);
+    HpccSummary {
+        machine: machine.name.clone(),
+        mode,
+        sockets,
+        hpl_tflops: global::hpl(machine, mode, sockets),
+        mpifft_gflops: global::mpi_fft(machine, mode, sockets),
+        ptrans_gbs: global::ptrans(machine, mode, sockets),
+        mpira_gups: global::mpi_ra(machine, mode, sockets),
+        fft_sp_ep: (fft.sp, fft.ep),
+        dgemm_sp_ep: (dgemm.sp, dgemm.ep),
+        stream_sp_ep: (stream.sp, stream.ep),
+        ra_sp_ep: (ra.sp, ra.ep),
+        pp_latency_us: (net.pp_min_us, net.pp_avg_us, net.pp_max_us),
+        pp_bandwidth_gbs: net.pp_min_bw,
+        random_ring: (net.rand_ring_us, net.rand_ring_bw),
+    }
+}
+
+impl HpccSummary {
+    /// Render like the classic `hpccoutf.txt` tail section.
+    pub fn render(&self) -> String {
+        let mut o = String::new();
+        o.push_str(&format!(
+            "HPCC summary — {} ({} mode, {} sockets)\n",
+            self.machine, self.mode, self.sockets
+        ));
+        o.push_str(&format!("HPL_Tflops             = {:.4}\n", self.hpl_tflops));
+        o.push_str(&format!("MPIFFT_Gflops          = {:.2}\n", self.mpifft_gflops));
+        o.push_str(&format!("PTRANS_GBs             = {:.2}\n", self.ptrans_gbs));
+        o.push_str(&format!("MPIRandomAccess_GUPs   = {:.5}\n", self.mpira_gups));
+        o.push_str(&format!(
+            "SingleFFT_Gflops       = {:.4}   StarFFT_Gflops   = {:.4}\n",
+            self.fft_sp_ep.0, self.fft_sp_ep.1
+        ));
+        o.push_str(&format!(
+            "SingleDGEMM_Gflops     = {:.3}    StarDGEMM_Gflops = {:.3}\n",
+            self.dgemm_sp_ep.0, self.dgemm_sp_ep.1
+        ));
+        o.push_str(&format!(
+            "SingleSTREAM_Triad     = {:.3}    StarSTREAM_Triad = {:.3}\n",
+            self.stream_sp_ep.0, self.stream_sp_ep.1
+        ));
+        o.push_str(&format!(
+            "SingleRandomAccess_GUP = {:.4}   StarRandomAccess = {:.4}\n",
+            self.ra_sp_ep.0, self.ra_sp_ep.1
+        ));
+        o.push_str(&format!(
+            "PingPongLatency_usec   = {:.2} / {:.2} / {:.2} (min/avg/max)\n",
+            self.pp_latency_us.0, self.pp_latency_us.1, self.pp_latency_us.2
+        ));
+        o.push_str(&format!(
+            "PingPongBandwidth_GBs  = {:.3}\n",
+            self.pp_bandwidth_gbs
+        ));
+        o.push_str(&format!(
+            "RandomRing latency/bw  = {:.2} usec / {:.3} GB/s\n",
+            self.random_ring.0, self.random_ring.1
+        ));
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtsim_machine::presets;
+
+    #[test]
+    fn summary_is_internally_consistent() {
+        let s = hpcc_summary(&presets::xt4(), ExecMode::SN, 16);
+        assert!(s.hpl_tflops > 0.0);
+        assert!(s.pp_latency_us.0 <= s.pp_latency_us.1);
+        assert!(s.pp_latency_us.1 <= s.pp_latency_us.2);
+        assert!(s.fft_sp_ep.1 <= s.fft_sp_ep.0 * 1.001);
+        let text = s.render();
+        assert!(text.contains("HPL_Tflops"));
+        assert!(text.contains("XT4"));
+    }
+
+    #[test]
+    fn vn_summary_shows_star_degradation() {
+        let s = hpcc_summary(&presets::xt4(), ExecMode::VN, 16);
+        // Star (EP) STREAM and RA drop to half; FFT/DGEMM do not.
+        assert!(s.stream_sp_ep.1 < 0.55 * s.stream_sp_ep.0);
+        assert!(s.ra_sp_ep.1 < 0.55 * s.ra_sp_ep.0);
+        assert!(s.dgemm_sp_ep.1 > 0.9 * s.dgemm_sp_ep.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Consistency checks across the HPCC drivers: metric algebra, mode
+//! relationships, and sweep monotonicity at reduced scale.
+
+use xtsim_hpcc::{bidir, global, local, netbench};
+use xtsim_machine::{presets, ExecMode};
+
+#[test]
+fn sp_rate_never_below_ep_rate() {
+    // A second active core can only hurt (or leave unchanged) per-core rates.
+    for k in [
+        local::LocalKernel::Fft,
+        local::LocalKernel::Dgemm,
+        local::LocalKernel::RandomAccess,
+        local::LocalKernel::StreamTriad,
+    ] {
+        for m in [presets::xt3_dual(), presets::xt4()] {
+            let r = local::local_bench(&m, ExecMode::VN, k);
+            assert!(r.ep <= r.sp * 1.001, "{} {k:?}: {r:?}", m.name);
+        }
+    }
+}
+
+#[test]
+fn ring_bandwidth_below_pingpong() {
+    // Ring patterns contend (two messages in flight per rank); ping-pong
+    // between an isolated pair does not.
+    let r = netbench::network_bench(&presets::xt4(), ExecMode::SN, 16);
+    assert!(r.nat_ring_bw <= r.pp_min_bw * 1.05, "{r:?}");
+    assert!(r.rand_ring_bw <= r.nat_ring_bw * 1.05, "{r:?}");
+}
+
+#[test]
+fn global_benchmarks_scale_up_with_sockets() {
+    let m = presets::xt4();
+    for bench in [global::hpl, global::mpi_fft, global::mpi_ra] {
+        let small = bench(&m, ExecMode::SN, 16);
+        let large = bench(&m, ExecMode::SN, 64);
+        assert!(large > 1.5 * small, "{small} -> {large}");
+    }
+}
+
+#[test]
+fn bidir_latency_and_bandwidth_are_consistent() {
+    // bandwidth = 2 * bytes / exchange-time by construction; check the two
+    // reported numbers against each other.
+    for bytes in [8u64, 65536, 1 << 21] {
+        let p = bidir::bidir_point(&presets::xt4(), ExecMode::SN, 1, bytes);
+        let implied_mbs = 2.0 * bytes as f64 / (p.latency_us * 1e-6) / 1e6;
+        assert!(
+            (implied_mbs - p.bandwidth_mbs).abs() < 0.01 * p.bandwidth_mbs.max(1.0),
+            "{bytes}: {implied_mbs} vs {}",
+            p.bandwidth_mbs
+        );
+    }
+}
+
+#[test]
+fn sn_mode_global_values_independent_of_idle_second_core() {
+    // XT4 SN-mode results should track the dual-core XT3's *network*, not
+    // gain from the idle core: HPL-per-socket(SN) ~ one core's DGEMM rate.
+    let hpl = global::hpl(&presets::xt4(), ExecMode::SN, 32);
+    let per_socket_gf = hpl * 1e3 / 32.0;
+    let core_dgemm = 4.52; // calibrated single-core DGEMM GFLOPS
+    assert!(
+        per_socket_gf < core_dgemm,
+        "SN HPL cannot beat one core's DGEMM: {per_socket_gf}"
+    );
+    assert!(per_socket_gf > 0.55 * core_dgemm, "{per_socket_gf}");
+}
+
+#[test]
+fn summary_matches_individual_benchmarks() {
+    use xtsim_hpcc::summary::hpcc_summary;
+    let m = presets::xt4();
+    let s = hpcc_summary(&m, ExecMode::SN, 16);
+    let hpl = global::hpl(&m, ExecMode::SN, 16);
+    assert!((s.hpl_tflops - hpl).abs() < 1e-12, "deterministic re-run");
+    let stream = local::local_bench(&m, ExecMode::SN, local::LocalKernel::StreamTriad);
+    assert_eq!(s.stream_sp_ep.0, stream.sp);
+}

@@ -1,0 +1,175 @@
+//! Minimal complex arithmetic (the AORSA solver is a dense *complex* linear
+//! system; we avoid an external num crate).
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A double-precision complex number.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Zero.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Construct from parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> C64 {
+        C64 { re, im }
+    }
+
+    /// `e^{iθ}`.
+    #[inline]
+    pub fn cis(theta: f64) -> C64 {
+        C64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> C64 {
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Multiplicative inverse.
+    #[inline]
+    pub fn recip(self) -> C64 {
+        let d = self.norm_sqr();
+        C64 {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> C64 {
+        C64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, o: C64) -> C64 {
+        C64::new(self.re + o.re, self.im + o.im)
+    }
+}
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, o: C64) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, o: C64) -> C64 {
+        C64::new(self.re - o.re, self.im - o.im)
+    }
+}
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, o: C64) {
+        self.re -= o.re;
+        self.im -= o.im;
+    }
+}
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, o: C64) -> C64 {
+        C64::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z * w^{-1} by definition
+    fn div(self, o: C64) -> C64 {
+        self * o.recip()
+    }
+}
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_spotcheck() {
+        let a = C64::new(1.5, -2.0);
+        let b = C64::new(-0.5, 3.0);
+        assert_eq!(a + b, C64::new(1.0, 1.0));
+        assert_eq!(a - b, C64::new(2.0, -5.0));
+        // (1.5 - 2i)(-0.5 + 3i) = -0.75 + 4.5i + 1i + 6 = 5.25 + 5.5i
+        let p = a * b;
+        assert!((p.re - 5.25).abs() < 1e-12);
+        assert!((p.im - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = C64::new(3.0, 4.0);
+        let b = C64::new(-1.0, 2.0);
+        let q = (a * b) / b;
+        assert!((q - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_is_unit_circle() {
+        for k in 0..8 {
+            let t = k as f64 * std::f64::consts::FRAC_PI_4;
+            assert!((C64::cis(t).abs() - 1.0).abs() < 1e-12);
+        }
+        assert!((C64::cis(std::f64::consts::PI) - C64::new(-1.0, 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conj_and_norms() {
+        let a = C64::new(3.0, -4.0);
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.conj(), C64::new(3.0, 4.0));
+        let r = a * a.recip();
+        assert!((r - C64::ONE).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,158 @@
+//! Radix-2 Cooley–Tukey FFT (the HPCC FFT kernel and the PME grid solve in
+//! the NAMD proxy).
+//!
+//! Iterative, in-place, with bit-reversal permutation. Power-of-two lengths
+//! only — the benchmark drivers pick power-of-two problem sizes exactly as
+//! the HPCC harness does.
+
+use crate::complex::C64;
+
+/// In-place forward FFT. Panics unless `data.len()` is a power of two.
+pub fn fft(data: &mut [C64]) {
+    transform(data, -1.0);
+}
+
+/// In-place inverse FFT (including the 1/N normalization).
+pub fn ifft(data: &mut [C64]) {
+    transform(data, 1.0);
+    let n = data.len() as f64;
+    for x in data.iter_mut() {
+        *x = x.scale(1.0 / n);
+    }
+}
+
+fn transform(data: &mut [C64], sign: f64) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    bit_reverse_permute(data);
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = C64::cis(ang);
+        for chunk in data.chunks_exact_mut(len) {
+            let mut w = C64::ONE;
+            let (lo, hi) = chunk.split_at_mut(len / 2);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let u = *a;
+                let v = *b * w;
+                *a = u + v;
+                *b = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+fn bit_reverse_permute(data: &mut [C64]) {
+    let n = data.len();
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// Naive O(N²) DFT used as the test oracle.
+pub fn dft_reference(data: &[C64]) -> Vec<C64> {
+    let n = data.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = C64::ZERO;
+            for (j, &x) in data.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                acc += x * C64::cis(ang);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Flop count the HPCC harness credits an N-point complex FFT with.
+pub fn fft_flops(n: usize) -> f64 {
+    5.0 * n as f64 * (n as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_signal(n: usize, seed: u64) -> Vec<C64> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_dft() {
+        for n in [1usize, 2, 4, 8, 32, 128] {
+            let signal = random_signal(n, 42);
+            let expect = dft_reference(&signal);
+            let mut got = signal.clone();
+            fft(&mut got);
+            for (g, e) in got.iter().zip(&expect) {
+                assert!((*g - *e).abs() < 1e-9 * (n as f64), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let signal = random_signal(256, 7);
+        let mut data = signal.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        for (a, b) in data.iter().zip(&signal) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn impulse_gives_flat_spectrum() {
+        let mut data = vec![C64::ZERO; 16];
+        data[0] = C64::ONE;
+        fft(&mut data);
+        for x in &data {
+            assert!((*x - C64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_gives_delta() {
+        let mut data = vec![C64::ONE; 16];
+        fft(&mut data);
+        assert!((data[0] - C64::new(16.0, 0.0)).abs() < 1e-12);
+        for x in &data[1..] {
+            assert!(x.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let signal = random_signal(512, 3);
+        let time_energy: f64 = signal.iter().map(|x| x.norm_sqr()).sum();
+        let mut freq = signal;
+        fft(&mut freq);
+        let freq_energy: f64 = freq.iter().map(|x| x.norm_sqr()).sum::<f64>() / 512.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut data = vec![C64::ZERO; 12];
+        fft(&mut data);
+    }
+
+    #[test]
+    fn flop_count_formula() {
+        assert_eq!(fft_flops(1024), 5.0 * 1024.0 * 10.0);
+    }
+}

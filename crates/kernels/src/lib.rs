@@ -1,0 +1,35 @@
+//! # xtsim-kernels — real, executing HPC kernels
+//!
+//! Honest Rust implementations of the numerical kernels the paper's
+//! benchmarks and applications are built from: DGEMM, radix-2 FFT, STREAM,
+//! HPCC RandomAccess, dense LU (real and complex), conjugate gradient (plus
+//! the Chronopoulos–Gear single-reduction variant POP 2.1 adopted),
+//! eighth-order finite-difference stencils with Runge–Kutta integration, and
+//! cell-list molecular dynamics.
+//!
+//! Every kernel serves two roles:
+//!
+//! 1. it **runs for real** — unit/property-tested here, wall-clock
+//!    benchmarked by the Criterion harness in `xtsim-bench`;
+//! 2. it **prices itself** for the simulator via [`workmodel`], which turns
+//!    problem sizes into [`xtsim_machine::WorkPacket`] operation counts.
+
+#![warn(missing_docs)]
+// Dense numerical kernels index with explicit loop variables on purpose:
+// the subscripts mirror the textbook algorithms they implement.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cg;
+pub mod complex;
+pub mod dgemm;
+pub mod fft;
+pub mod lu;
+pub mod md;
+pub mod ptrans;
+pub mod random_access;
+pub mod stencil;
+pub mod stream;
+pub mod workmodel;
+pub mod zlu;
+
+pub use complex::C64;

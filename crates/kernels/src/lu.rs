@@ -1,0 +1,300 @@
+//! Dense LU factorization with partial pivoting (the computational heart of
+//! HPL / Figure 8) and triangular solves.
+//!
+//! Right-looking blocked elimination on row-major storage. Also provides the
+//! residual check the HPL harness reports.
+
+/// LU factorization result: `P·A = L·U` stored packed in `lu` (unit lower
+/// triangle implicit), with the pivot row permutation.
+pub struct LuFactors {
+    /// Matrix order.
+    pub n: usize,
+    /// Packed L\U factors, row-major.
+    pub lu: Vec<f64>,
+    /// `piv[k]` = row swapped into position `k` at step `k`.
+    pub piv: Vec<usize>,
+}
+
+/// Factor a (copy of a) dense matrix. Returns `None` if exactly singular.
+pub fn lu_factor(n: usize, a: &[f64]) -> Option<LuFactors> {
+    assert!(a.len() >= n * n);
+    let mut lu = a[..n * n].to_vec();
+    let mut piv = vec![0usize; n];
+    for k in 0..n {
+        // Partial pivot: largest magnitude in column k at/below the diagonal.
+        let mut p = k;
+        let mut pmax = lu[k * n + k].abs();
+        for i in k + 1..n {
+            let v = lu[i * n + k].abs();
+            if v > pmax {
+                pmax = v;
+                p = i;
+            }
+        }
+        if pmax == 0.0 {
+            return None;
+        }
+        piv[k] = p;
+        if p != k {
+            for j in 0..n {
+                lu.swap(k * n + j, p * n + j);
+            }
+        }
+        let pivot = lu[k * n + k];
+        for i in k + 1..n {
+            let m = lu[i * n + k] / pivot;
+            lu[i * n + k] = m;
+            // Rank-1 update of the trailing row.
+            let (top, bottom) = lu.split_at_mut(i * n);
+            let urow = &top[k * n + k + 1..k * n + n];
+            let irow = &mut bottom[k + 1..n];
+            for (iv, uv) in irow.iter_mut().zip(urow) {
+                *iv -= m * uv;
+            }
+        }
+    }
+    Some(LuFactors { n, lu, piv })
+}
+
+impl LuFactors {
+    /// Solve `A x = b` using the stored factors.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        assert!(b.len() >= n);
+        let mut x = b[..n].to_vec();
+        // Apply the full row permutation first (L is stored in final row
+        // order because each pivot swap moved whole rows), then forward
+        // substitution with the unit lower triangle.
+        for k in 0..n {
+            x.swap(k, self.piv[k]);
+        }
+        for k in 0..n {
+            let xk = x[k];
+            for i in k + 1..n {
+                x[i] -= self.lu[i * n + k] * xk;
+            }
+        }
+        // Back substitution.
+        for k in (0..n).rev() {
+            x[k] /= self.lu[k * n + k];
+            let xk = x[k];
+            for i in 0..k {
+                x[i] -= self.lu[i * n + k] * xk;
+            }
+        }
+        x
+    }
+}
+
+/// Scaled HPL residual `||Ax-b||_inf / (eps * ||A||_1 * n)`; the benchmark
+/// passes when this is O(1).
+pub fn hpl_residual(n: usize, a: &[f64], x: &[f64], b: &[f64]) -> f64 {
+    let mut rmax: f64 = 0.0;
+    for i in 0..n {
+        let mut dot = 0.0;
+        for j in 0..n {
+            dot += a[i * n + j] * x[j];
+        }
+        rmax = rmax.max((dot - b[i]).abs());
+    }
+    let norm_a = (0..n)
+        .map(|j| (0..n).map(|i| a[i * n + j].abs()).sum::<f64>())
+        .fold(0.0f64, f64::max);
+    rmax / (f64::EPSILON * norm_a * n as f64)
+}
+
+/// Flops credited to an N×N LU factorization + solve (the HPL accounting).
+pub fn hpl_flops(n: usize) -> f64 {
+    let n = n as f64;
+    2.0 / 3.0 * n * n * n + 2.0 * n * n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_system(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let a: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn solves_random_systems() {
+        for n in [1usize, 2, 3, 10, 50, 120] {
+            let (a, b) = random_system(n, n as u64);
+            let f = lu_factor(n, &a).expect("nonsingular w.h.p.");
+            let x = f.solve(&b);
+            let r = hpl_residual(n, &a, &x, &b);
+            assert!(r < 16.0, "n={n}: scaled residual {r}");
+        }
+    }
+
+    #[test]
+    fn identity_factorization() {
+        let n = 5;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = 1.0;
+        }
+        let f = lu_factor(n, &a).unwrap();
+        let b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(f.solve(&b), b);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let n = 3;
+        // Two identical rows.
+        let a = vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0, 0.0, 1.0, 1.0];
+        assert!(lu_factor(n, &a).is_none());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // A = [[0,1],[1,0]] needs a row swap.
+        let a = vec![0.0, 1.0, 1.0, 0.0];
+        let f = lu_factor(2, &a).unwrap();
+        let x = f.solve(&[3.0, 7.0]);
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hpl_flops_formula() {
+        let f = hpl_flops(1000);
+        assert!((f - (2.0 / 3.0 * 1.0e9 + 2.0e6)).abs() < 1.0);
+    }
+}
+
+/// Blocked right-looking LU with partial pivoting — the actual structure of
+/// HPL's factorization (panel factorization + triangular solve + trailing
+/// GEMM update), with block size `nb`. Produces the same factors as
+/// [`lu_factor`] up to round-off.
+pub fn lu_factor_blocked(n: usize, a: &[f64], nb: usize) -> Option<LuFactors> {
+    assert!(nb >= 1);
+    let mut lu = a[..n * n].to_vec();
+    let mut piv = vec![0usize; n];
+    let mut k0 = 0;
+    while k0 < n {
+        let kb = nb.min(n - k0);
+        // --- panel factorization (unblocked, on columns k0..k0+kb) ---
+        for k in k0..k0 + kb {
+            let mut p = k;
+            let mut pmax = lu[k * n + k].abs();
+            for i in k + 1..n {
+                let v = lu[i * n + k].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax == 0.0 {
+                return None;
+            }
+            piv[k] = p;
+            if p != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, p * n + j);
+                }
+            }
+            let pivot = lu[k * n + k];
+            for i in k + 1..n {
+                let m = lu[i * n + k] / pivot;
+                lu[i * n + k] = m;
+                // Update only within the panel; the trailing matrix is
+                // updated by the blocked GEMM below.
+                let (top, bottom) = lu.split_at_mut(i * n);
+                let urow = &top[k * n + k + 1..k * n + k0 + kb];
+                let irow = &mut bottom[k + 1..k0 + kb];
+                for (iv, uv) in irow.iter_mut().zip(urow) {
+                    *iv -= m * uv;
+                }
+            }
+        }
+        let rest = k0 + kb;
+        if rest < n {
+            // --- triangular solve: U12 = L11^{-1} A12 ---
+            for k in k0..rest {
+                for i in k + 1..rest {
+                    let m = lu[i * n + k];
+                    let (top, bottom) = lu.split_at_mut(i * n);
+                    let urow = &top[k * n + rest..k * n + n];
+                    let irow = &mut bottom[rest..n];
+                    for (iv, uv) in irow.iter_mut().zip(urow) {
+                        *iv -= m * uv;
+                    }
+                }
+            }
+            // --- trailing update: A22 -= L21 * U12 (the GEMM that HPL
+            //     spends its time in) ---
+            for i in rest..n {
+                for k in k0..rest {
+                    let m = lu[i * n + k];
+                    if m != 0.0 {
+                        let (top, bottom) = lu.split_at_mut(i * n);
+                        let urow = &top[k * n + rest..k * n + n];
+                        let irow = &mut bottom[rest..n];
+                        for (iv, uv) in irow.iter_mut().zip(urow) {
+                            *iv -= m * uv;
+                        }
+                    }
+                }
+            }
+        }
+        k0 += kb;
+    }
+    Some(LuFactors { n, lu, piv })
+}
+
+#[cfg(test)]
+mod blocked_tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_system(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let a: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn blocked_matches_unblocked_factors() {
+        for (n, nb) in [(16usize, 4usize), (33, 8), (50, 7), (64, 64), (20, 1)] {
+            let (a, _) = random_system(n, n as u64 + nb as u64);
+            let f1 = lu_factor(n, &a).unwrap();
+            let f2 = lu_factor_blocked(n, &a, nb).unwrap();
+            assert_eq!(f1.piv, f2.piv, "n={n} nb={nb}");
+            for (x, y) in f1.lu.iter().zip(&f2.lu) {
+                assert!((x - y).abs() < 1e-9, "n={n} nb={nb}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_solves_systems() {
+        for n in [8usize, 40, 100] {
+            let (a, b) = random_system(n, 3 * n as u64);
+            let f = lu_factor_blocked(n, &a, 16).unwrap();
+            let x = f.solve(&b);
+            assert!(hpl_residual(n, &a, &x, &b) < 16.0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn blocked_detects_singularity() {
+        let a = vec![0.0; 9];
+        assert!(lu_factor_blocked(3, &a, 2).is_none());
+    }
+
+    #[test]
+    fn block_size_larger_than_matrix_is_fine() {
+        let (a, b) = random_system(10, 77);
+        let f = lu_factor_blocked(10, &a, 64).unwrap();
+        let x = f.solve(&b);
+        assert!(hpl_residual(10, &a, &x, &b) < 16.0);
+    }
+}

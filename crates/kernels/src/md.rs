@@ -1,0 +1,290 @@
+//! Molecular-dynamics kernels — the short-range force path of the NAMD
+//! proxy (§6.3): truncated Lennard-Jones forces with a cell list, advanced
+//! by velocity Verlet.
+
+/// Particle system state in a periodic cubic box.
+#[derive(Debug, Clone)]
+pub struct MdSystem {
+    /// Box edge length.
+    pub box_len: f64,
+    /// Positions, xyz interleaved.
+    pub pos: Vec<[f64; 3]>,
+    /// Velocities.
+    pub vel: Vec<[f64; 3]>,
+    /// Interaction cutoff.
+    pub cutoff: f64,
+}
+
+impl MdSystem {
+    /// Place `n` particles on a jittered lattice with zero net momentum.
+    pub fn lattice(n: usize, box_len: f64, cutoff: f64, seed: u64) -> MdSystem {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let side = (n as f64).cbrt().ceil() as usize;
+        let spacing = box_len / side as f64;
+        let mut pos = Vec::with_capacity(n);
+        'outer: for k in 0..side {
+            for j in 0..side {
+                for i in 0..side {
+                    if pos.len() == n {
+                        break 'outer;
+                    }
+                    let jitter = 0.05 * spacing;
+                    pos.push([
+                        (i as f64 + 0.5) * spacing + rng.gen_range(-jitter..jitter),
+                        (j as f64 + 0.5) * spacing + rng.gen_range(-jitter..jitter),
+                        (k as f64 + 0.5) * spacing + rng.gen_range(-jitter..jitter),
+                    ]);
+                }
+            }
+        }
+        let mut vel: Vec<[f64; 3]> = (0..n)
+            .map(|_| {
+                [
+                    rng.gen_range(-0.1..0.1),
+                    rng.gen_range(-0.1..0.1),
+                    rng.gen_range(-0.1..0.1),
+                ]
+            })
+            .collect();
+        // Remove net momentum.
+        let mut mean = [0.0; 3];
+        for v in &vel {
+            for d in 0..3 {
+                mean[d] += v[d];
+            }
+        }
+        for d in 0..3 {
+            mean[d] /= n as f64;
+        }
+        for v in &mut vel {
+            for d in 0..3 {
+                v[d] -= mean[d];
+            }
+        }
+        MdSystem {
+            box_len,
+            pos,
+            vel,
+            cutoff,
+        }
+    }
+
+    fn min_image(&self, mut d: f64) -> f64 {
+        let l = self.box_len;
+        if d > l / 2.0 {
+            d -= l;
+        } else if d < -l / 2.0 {
+            d += l;
+        }
+        d
+    }
+
+    fn pair_force(&self, i: usize, j: usize) -> Option<([f64; 3], f64)> {
+        let mut dr = [0.0; 3];
+        let mut r2 = 0.0;
+        for d in 0..3 {
+            dr[d] = self.min_image(self.pos[i][d] - self.pos[j][d]);
+            r2 += dr[d] * dr[d];
+        }
+        if r2 >= self.cutoff * self.cutoff || r2 == 0.0 {
+            return None;
+        }
+        // Truncated LJ with sigma = eps = 1: F = 24 (2 r^-14 - r^-8) · dr.
+        let inv_r2 = 1.0 / r2;
+        let inv_r6 = inv_r2 * inv_r2 * inv_r2;
+        let fmag = 24.0 * inv_r2 * inv_r6 * (2.0 * inv_r6 - 1.0);
+        let energy = 4.0 * inv_r6 * (inv_r6 - 1.0);
+        Some(([dr[0] * fmag, dr[1] * fmag, dr[2] * fmag], energy))
+    }
+
+    /// All-pairs force computation (test oracle). Returns (forces, potential).
+    pub fn forces_naive(&self) -> (Vec<[f64; 3]>, f64) {
+        let n = self.pos.len();
+        let mut f = vec![[0.0; 3]; n];
+        let mut pot = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                if let Some((fij, e)) = self.pair_force(i, j) {
+                    for d in 0..3 {
+                        f[i][d] += fij[d];
+                        f[j][d] -= fij[d];
+                    }
+                    pot += e;
+                }
+            }
+        }
+        (f, pot)
+    }
+
+    /// Cell-list force computation: O(N) for fixed density.
+    pub fn forces_cell_list(&self) -> (Vec<[f64; 3]>, f64) {
+        let n = self.pos.len();
+        let cells_per_dim = ((self.box_len / self.cutoff).floor() as usize).max(1);
+        if cells_per_dim < 3 {
+            // Cells would self-overlap through periodicity; fall back.
+            return self.forces_naive();
+        }
+        let cell_len = self.box_len / cells_per_dim as f64;
+        let cell_of = |p: &[f64; 3]| -> [usize; 3] {
+            let mut c = [0usize; 3];
+            for d in 0..3 {
+                let idx = (p[d] / cell_len).floor() as isize;
+                c[d] = idx.rem_euclid(cells_per_dim as isize) as usize;
+            }
+            c
+        };
+        let ncells = cells_per_dim * cells_per_dim * cells_per_dim;
+        let lin = |c: [usize; 3]| c[0] + c[1] * cells_per_dim + c[2] * cells_per_dim * cells_per_dim;
+        let mut heads: Vec<Vec<usize>> = vec![Vec::new(); ncells];
+        for (i, p) in self.pos.iter().enumerate() {
+            heads[lin(cell_of(p))].push(i);
+        }
+        let mut f = vec![[0.0; 3]; n];
+        let mut pot = 0.0;
+        for cz in 0..cells_per_dim {
+            for cy in 0..cells_per_dim {
+                for cx in 0..cells_per_dim {
+                    let home = &heads[lin([cx, cy, cz])];
+                    // Pairs within the home cell.
+                    for (a, &i) in home.iter().enumerate() {
+                        for &j in &home[a + 1..] {
+                            if let Some((fij, e)) = self.pair_force(i, j) {
+                                for d in 0..3 {
+                                    f[i][d] += fij[d];
+                                    f[j][d] -= fij[d];
+                                }
+                                pot += e;
+                            }
+                        }
+                    }
+                    // Half the neighbour cells (avoid double counting).
+                    for &(dx, dy, dz) in HALF_NEIGHBOURS {
+                        let nb = [
+                            (cx as isize + dx).rem_euclid(cells_per_dim as isize) as usize,
+                            (cy as isize + dy).rem_euclid(cells_per_dim as isize) as usize,
+                            (cz as isize + dz).rem_euclid(cells_per_dim as isize) as usize,
+                        ];
+                        for &i in home {
+                            for &j in &heads[lin(nb)] {
+                                if let Some((fij, e)) = self.pair_force(i, j) {
+                                    for d in 0..3 {
+                                        f[i][d] += fij[d];
+                                        f[j][d] -= fij[d];
+                                    }
+                                    pot += e;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (f, pot)
+    }
+
+    /// One velocity-Verlet step of size `dt`. Returns (kinetic, potential).
+    pub fn step(&mut self, dt: f64) -> (f64, f64) {
+        let (f0, _) = self.forces_cell_list();
+        let n = self.pos.len();
+        for i in 0..n {
+            for d in 0..3 {
+                self.vel[i][d] += 0.5 * dt * f0[i][d];
+                self.pos[i][d] = (self.pos[i][d] + dt * self.vel[i][d]).rem_euclid(self.box_len);
+            }
+        }
+        let (f1, pot) = self.forces_cell_list();
+        let mut kin = 0.0;
+        for i in 0..n {
+            for d in 0..3 {
+                self.vel[i][d] += 0.5 * dt * f1[i][d];
+                kin += 0.5 * self.vel[i][d] * self.vel[i][d];
+            }
+        }
+        (kin, pot)
+    }
+}
+
+/// The 13 "half" neighbour offsets (each unordered cell pair visited once).
+const HALF_NEIGHBOURS: &[(isize, isize, isize)] = &[
+    (1, 0, 0),
+    (1, 1, 0),
+    (0, 1, 0),
+    (-1, 1, 0),
+    (1, 0, 1),
+    (1, 1, 1),
+    (0, 1, 1),
+    (-1, 1, 1),
+    (1, -1, 1),
+    (0, -1, 1),
+    (-1, -1, 1),
+    (0, 0, 1),
+    (-1, 0, 1),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_list_matches_naive() {
+        let sys = MdSystem::lattice(200, 12.0, 2.5, 1);
+        let (fn_, pn) = sys.forces_naive();
+        let (fc, pc) = sys.forces_cell_list();
+        assert!((pn - pc).abs() < 1e-9 * pn.abs().max(1.0), "{pn} vs {pc}");
+        for (a, b) in fn_.iter().zip(&fc) {
+            for d in 0..3 {
+                assert!((a[d] - b[d]).abs() < 1e-9, "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn forces_sum_to_zero() {
+        let sys = MdSystem::lattice(100, 10.0, 2.5, 2);
+        let (f, _) = sys.forces_cell_list();
+        for d in 0..3 {
+            let total: f64 = f.iter().map(|v| v[d]).sum();
+            assert!(total.abs() < 1e-9, "net force {total} in dim {d}");
+        }
+    }
+
+    #[test]
+    fn energy_approximately_conserved() {
+        let mut sys = MdSystem::lattice(64, 8.0, 2.5, 3);
+        let (k0, p0) = sys.step(1e-4);
+        let e0 = k0 + p0;
+        let mut e_last = e0;
+        for _ in 0..50 {
+            let (k, p) = sys.step(1e-4);
+            e_last = k + p;
+        }
+        let drift = (e_last - e0).abs() / e0.abs().max(1.0);
+        assert!(drift < 1e-3, "energy drift {drift}");
+    }
+
+    #[test]
+    fn momentum_conserved_over_steps() {
+        let mut sys = MdSystem::lattice(64, 8.0, 2.5, 4);
+        for _ in 0..10 {
+            sys.step(1e-4);
+        }
+        for d in 0..3 {
+            let p: f64 = sys.vel.iter().map(|v| v[d]).sum();
+            assert!(p.abs() < 1e-9, "net momentum {p}");
+        }
+    }
+
+    #[test]
+    fn positions_stay_in_box() {
+        let mut sys = MdSystem::lattice(64, 8.0, 2.5, 5);
+        for _ in 0..20 {
+            sys.step(1e-3);
+        }
+        for p in &sys.pos {
+            for d in 0..3 {
+                assert!(p[d] >= 0.0 && p[d] < 8.0);
+            }
+        }
+    }
+}

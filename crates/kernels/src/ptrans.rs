@@ -1,0 +1,82 @@
+//! Matrix transpose kernels (HPCC PTRANS measures `A = A^T + A` across the
+//! machine; these are the node-local building blocks).
+
+/// Out-of-place transpose, cache-blocked, row-major `rows × cols` input.
+pub fn transpose(rows: usize, cols: usize, a: &[f64], out: &mut [f64]) {
+    const BLOCK: usize = 32;
+    assert!(a.len() >= rows * cols && out.len() >= rows * cols);
+    let mut i0 = 0;
+    while i0 < rows {
+        let ib = BLOCK.min(rows - i0);
+        let mut j0 = 0;
+        while j0 < cols {
+            let jb = BLOCK.min(cols - j0);
+            for i in i0..i0 + ib {
+                for j in j0..j0 + jb {
+                    out[j * rows + i] = a[i * cols + j];
+                }
+            }
+            j0 += BLOCK;
+        }
+        i0 += BLOCK;
+    }
+}
+
+/// The PTRANS update `A = A^T + A` for a square matrix, returning a new
+/// matrix (the distributed benchmark does this on 2-D block-cyclic tiles).
+pub fn ptrans_update(n: usize, a: &[f64]) -> Vec<f64> {
+    let mut t = vec![0.0; n * n];
+    transpose(n, n, a, &mut t);
+    for (tv, av) in t.iter_mut().zip(a) {
+        *tv += av;
+    }
+    t
+}
+
+/// Bytes moved per element by the distributed PTRANS exchange (read + write
+/// of one f64 across the network per matrix element not on the diagonal
+/// blocks).
+pub const PTRANS_BYTES_PER_ELEMENT: f64 = 8.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random(n: usize, m: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n * m).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        for (r, c) in [(1, 1), (5, 7), (32, 32), (33, 65)] {
+            let a = random(r, c, 1);
+            let mut t = vec![0.0; r * c];
+            let mut back = vec![0.0; r * c];
+            transpose(r, c, &a, &mut t);
+            transpose(c, r, &t, &mut back);
+            assert_eq!(a, back, "{r}x{c}");
+        }
+    }
+
+    #[test]
+    fn transpose_moves_elements() {
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 2x3
+        let mut t = vec![0.0; 6];
+        transpose(2, 3, &a, &mut t);
+        assert_eq!(t, vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn ptrans_update_is_symmetric() {
+        let n = 17;
+        let a = random(n, n, 2);
+        let s = ptrans_update(n, &a);
+        for i in 0..n {
+            for j in 0..n {
+                assert!((s[i * n + j] - s[j * n + i]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! The STREAM memory-bandwidth kernels (McCalpin): Copy, Scale, Add, Triad.
+//!
+//! These run for real in the Criterion benches (host bandwidth) and define
+//! the byte-traffic accounting used by the simulator's STREAM benchmark.
+
+/// `c[i] = a[i]` — 16 bytes/element of traffic.
+pub fn copy(a: &[f64], c: &mut [f64]) {
+    c.copy_from_slice(a);
+}
+
+/// `b[i] = s * c[i]` — 16 bytes/element.
+pub fn scale(s: f64, c: &[f64], b: &mut [f64]) {
+    for (bv, cv) in b.iter_mut().zip(c) {
+        *bv = s * cv;
+    }
+}
+
+/// `c[i] = a[i] + b[i]` — 24 bytes/element.
+pub fn add(a: &[f64], b: &[f64], c: &mut [f64]) {
+    for ((cv, av), bv) in c.iter_mut().zip(a).zip(b) {
+        *cv = av + bv;
+    }
+}
+
+/// `a[i] = b[i] + s * c[i]` — 24 bytes/element, 2 flops/element. The
+/// headline STREAM number (the paper's Figure 7).
+pub fn triad(s: f64, b: &[f64], c: &[f64], a: &mut [f64]) {
+    for ((av, bv), cv) in a.iter_mut().zip(b).zip(c) {
+        *av = bv + s * cv;
+    }
+}
+
+/// Bytes moved per element for each kernel (read + write, no write-allocate
+/// accounting — the STREAM convention).
+pub mod bytes_per_element {
+    /// Copy: 8 read + 8 write.
+    pub const COPY: f64 = 16.0;
+    /// Scale: 8 read + 8 write.
+    pub const SCALE: f64 = 16.0;
+    /// Add: 16 read + 8 write.
+    pub const ADD: f64 = 24.0;
+    /// Triad: 16 read + 8 write.
+    pub const TRIAD: f64 = 24.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_compute_correctly() {
+        let a = vec![1.0, 2.0, 3.0];
+        let mut c = vec![0.0; 3];
+        copy(&a, &mut c);
+        assert_eq!(c, a);
+
+        let mut b = vec![0.0; 3];
+        scale(2.0, &c, &mut b);
+        assert_eq!(b, vec![2.0, 4.0, 6.0]);
+
+        let mut sum = vec![0.0; 3];
+        add(&a, &b, &mut sum);
+        assert_eq!(sum, vec![3.0, 6.0, 9.0]);
+
+        let mut t = vec![0.0; 3];
+        triad(10.0, &a, &b, &mut t);
+        assert_eq!(t, vec![21.0, 42.0, 63.0]);
+    }
+
+    #[test]
+    fn triad_traffic_constant() {
+        assert_eq!(bytes_per_element::TRIAD, 24.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Work-packet models: operation counts and memory-traffic constants that
+//! convert each kernel into a [`WorkPacket`] the simulator can price.
+//!
+//! The constants below are calibration choices documented in EXPERIMENTS.md.
+//! They are chosen once, against the paper's published XT3 *single-core*
+//! numbers, and then held fixed: the XT4 predictions (and all contention
+//! behaviour) follow from the machine model, not from refitting.
+
+use xtsim_machine::{MachineSpec, WorkPacket};
+
+use crate::dgemm::dgemm_flops;
+use crate::fft::fft_flops;
+use crate::lu::hpl_flops;
+use crate::stream::bytes_per_element;
+
+/// Fraction of peak the scalar FFT inner loops sustain when not waiting on
+/// memory (butterflies are latency-chained).
+pub const FFT_FLOP_EFFICIENCY: f64 = 0.45;
+/// Effective non-overlapped DRAM bytes per FFT point per butterfly stage
+/// (`bytes = FFT_MEM_BYTES_PER_POINT · N · log2 N`). Calibrated so the XT3
+/// SP FFT lands at the paper's ~0.5 GFLOPS.
+pub const FFT_MEM_BYTES_PER_POINT: f64 = 40.0;
+
+/// An N-point complex-to-complex FFT on one core.
+pub fn fft_packet(n: usize) -> WorkPacket {
+    let lg = (n.max(2) as f64).log2();
+    WorkPacket {
+        flops: fft_flops(n),
+        flop_efficiency: FFT_FLOP_EFFICIENCY,
+        serial_dram_bytes: FFT_MEM_BYTES_PER_POINT * n as f64 * lg,
+        shared_dram_bytes: 0.0,
+        random_refs: 0.0,
+    }
+}
+
+/// An N×N DGEMM on one core; cache-blocked, so DRAM traffic is the matrix
+/// footprint (streamed once per panel sweep), far below controller
+/// saturation — which is why Figure 5 shows no EP-mode degradation.
+pub fn dgemm_packet(n: usize, machine: &MachineSpec) -> WorkPacket {
+    WorkPacket {
+        flops: dgemm_flops(n),
+        flop_efficiency: machine.processor.dgemm_efficiency,
+        serial_dram_bytes: 0.0,
+        shared_dram_bytes: 3.0 * 8.0 * (n * n) as f64,
+        random_refs: 0.0,
+    }
+}
+
+/// A STREAM-triad pass over `n` elements: pure shared-controller streaming.
+pub fn stream_triad_packet(n: usize) -> WorkPacket {
+    WorkPacket {
+        flops: 2.0 * n as f64,
+        flop_efficiency: 1.0,
+        serial_dram_bytes: 0.0,
+        shared_dram_bytes: bytes_per_element::TRIAD * n as f64,
+        random_refs: 0.0,
+    }
+}
+
+/// `updates` RandomAccess table updates: contends on the socket's GUPS
+/// capacity (Figure 6's EP-mode halving).
+pub fn random_access_packet(updates: u64) -> WorkPacket {
+    WorkPacket {
+        flops: 0.0,
+        flop_efficiency: 1.0,
+        serial_dram_bytes: 0.0,
+        shared_dram_bytes: 0.0,
+        random_refs: updates as f64,
+    }
+}
+
+/// The compute share of one rank in an N×N distributed HPL solve
+/// (factorization flops split evenly across `ranks`).
+pub fn hpl_local_packet(n: usize, ranks: usize, machine: &MachineSpec) -> WorkPacket {
+    WorkPacket {
+        flops: hpl_flops(n) / ranks as f64,
+        // HPL sustains slightly below DGEMM because of panel factorization.
+        flop_efficiency: machine.processor.dgemm_efficiency * 0.92,
+        serial_dram_bytes: 0.0,
+        shared_dram_bytes: 8.0 * (n * n) as f64 / ranks as f64,
+        random_refs: 0.0,
+    }
+}
+
+/// One rank's local work in a distributed 1-D FFT of total size `n` over
+/// `ranks` ranks (compute phases of the MPI-FFT benchmark; the transpose
+/// traffic is communicated explicitly by the benchmark driver).
+pub fn mpi_fft_local_packet(n: usize, ranks: usize) -> WorkPacket {
+    let local = (n / ranks).max(2);
+    let whole = fft_packet(n);
+    WorkPacket {
+        flops: whole.flops / ranks as f64,
+        flop_efficiency: FFT_FLOP_EFFICIENCY,
+        serial_dram_bytes: FFT_MEM_BYTES_PER_POINT * local as f64 * (local as f64).log2(),
+        shared_dram_bytes: 0.0,
+        random_refs: 0.0,
+    }
+}
+
+/// One rank's local transpose work in PTRANS (streaming copy of its tile).
+pub fn ptrans_local_packet(tile_elems: usize) -> WorkPacket {
+    WorkPacket {
+        flops: tile_elems as f64, // one add per element (A^T + A)
+        flop_efficiency: 1.0,
+        serial_dram_bytes: 0.0,
+        shared_dram_bytes: 24.0 * tile_elems as f64, // read tile + incoming, write
+        random_refs: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtsim_machine::presets;
+
+    #[test]
+    fn fft_packet_calibration_hits_paper_numbers() {
+        // Paper Figure 4: XT3 SP ≈ 0.50 GFLOPS, XT4 SP ≈ 0.63 GFLOPS.
+        let w = fft_packet(1 << 20);
+        let xt3 = w.uncontended_gflops(&presets::xt3_single());
+        let xt4 = w.uncontended_gflops(&presets::xt4());
+        assert!((xt3 - 0.50).abs() < 0.06, "XT3 FFT {xt3}");
+        assert!((xt4 - 0.63).abs() < 0.08, "XT4 FFT {xt4}");
+        // The paper's headline: ~25% improvement, mostly from memory.
+        let gain = xt4 / xt3;
+        assert!(gain > 1.15 && gain < 1.45, "gain {gain}");
+    }
+
+    #[test]
+    fn dgemm_packet_tracks_clock_and_efficiency() {
+        // Paper Figure 5: XT3 ≈ 4.2, XT4 ≈ 4.5 GFLOPS (clock-driven).
+        let xt3 = dgemm_packet(2000, &presets::xt3_single())
+            .uncontended_gflops(&presets::xt3_single());
+        let xt4 = dgemm_packet(2000, &presets::xt4()).uncontended_gflops(&presets::xt4());
+        assert!((xt3 - 4.18).abs() < 0.15, "{xt3}");
+        assert!((xt4 - 4.52).abs() < 0.15, "{xt4}");
+    }
+
+    #[test]
+    fn stream_packet_is_bandwidth_bound() {
+        // Paper Figure 7: XT3 ≈ 5.1 GB/s, XT4 ≈ 7.3 GB/s triad.
+        let n = 8_000_000usize;
+        let w = stream_triad_packet(n);
+        for (m, expect) in [
+            (presets::xt3_single(), 5.1),
+            (presets::xt4(), 7.3),
+        ] {
+            let t = w.uncontended_time(&m);
+            let gbs = bytes_per_element::TRIAD * n as f64 / t / 1e9;
+            assert!((gbs - expect).abs() < 0.2, "{}: {gbs}", m.name);
+        }
+    }
+
+    #[test]
+    fn random_access_packet_hits_gups() {
+        // Paper Figure 6: XT3 ≈ 0.014, XT4 ≈ 0.019 GUPS (SP mode).
+        let updates = 4_000_000u64;
+        let w = random_access_packet(updates);
+        for (m, expect) in [
+            (presets::xt3_single(), 0.014),
+            (presets::xt4(), 0.019),
+        ] {
+            let t = w.uncontended_time(&m);
+            let gups = updates as f64 / t / 1e9;
+            assert!((gups - expect).abs() < 0.002, "{}: {gups}", m.name);
+        }
+    }
+
+    #[test]
+    fn hpl_slightly_below_dgemm() {
+        let m = presets::xt4();
+        let hpl = hpl_local_packet(10_000, 4, &m).uncontended_gflops(&m);
+        let dg = dgemm_packet(2000, &m).uncontended_gflops(&m);
+        assert!(hpl < dg && hpl > 0.8 * dg, "hpl {hpl} dgemm {dg}");
+    }
+}

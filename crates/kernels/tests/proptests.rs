@@ -1,0 +1,194 @@
+//! Property-based tests over the numerical kernels: the invariants hold for
+//! *arbitrary* inputs, not just the unit-test fixtures.
+
+use proptest::prelude::*;
+
+use xtsim_kernels::cg::{cg, cg_chronopoulos_gear, laplacian_2d, Csr};
+use xtsim_kernels::complex::C64;
+use xtsim_kernels::fft::{dft_reference, fft, ifft};
+use xtsim_kernels::lu::{hpl_residual, lu_factor};
+use xtsim_kernels::md::MdSystem;
+use xtsim_kernels::ptrans::transpose;
+use xtsim_kernels::random_access::GupsTable;
+use xtsim_kernels::stream;
+use xtsim_kernels::zlu::{zlu_factor, zresidual};
+
+fn signal(len: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fft_ifft_roundtrip(exp in 1usize..9, vals in signal(256)) {
+        let n = 1 << exp;
+        let orig: Vec<C64> = vals[..n].iter().map(|&(r, i)| C64::new(r, i)).collect();
+        let mut data = orig.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        for (a, b) in data.iter().zip(&orig) {
+            prop_assert!((*a - *b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn fft_matches_dft(exp in 1usize..7, vals in signal(64)) {
+        let n = 1 << exp;
+        let orig: Vec<C64> = vals[..n].iter().map(|&(r, i)| C64::new(r, i)).collect();
+        let expect = dft_reference(&orig);
+        let mut got = orig;
+        fft(&mut got);
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert!((*g - *e).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fft_is_linear(exp in 1usize..7, a in signal(64), b in signal(64), k in -3.0f64..3.0) {
+        let n = 1 << exp;
+        let av: Vec<C64> = a[..n].iter().map(|&(r, i)| C64::new(r, i)).collect();
+        let bv: Vec<C64> = b[..n].iter().map(|&(r, i)| C64::new(r, i)).collect();
+        // fft(a + k b) == fft(a) + k fft(b)
+        let mut combo: Vec<C64> = av.iter().zip(&bv).map(|(x, y)| *x + y.scale(k)).collect();
+        fft(&mut combo);
+        let mut fa = av;
+        fft(&mut fa);
+        let mut fb = bv;
+        fft(&mut fb);
+        for ((c, x), y) in combo.iter().zip(&fa).zip(&fb) {
+            prop_assert!((*c - (*x + y.scale(k))).abs() < 1e-6 * (n as f64));
+        }
+    }
+
+    #[test]
+    fn lu_solves_diagonally_dominant_systems(
+        n in 2usize..24,
+        seed in prop::collection::vec(-1.0f64..1.0, 24 * 24 + 24),
+    ) {
+        let mut a = vec![0.0; n * n];
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            b[i] = seed[n * n + i];
+            for j in 0..n {
+                a[i * n + j] = seed[i * n + j];
+            }
+            // Diagonal dominance guarantees a well-conditioned system.
+            a[i * n + i] += n as f64;
+        }
+        let f = lu_factor(n, &a).expect("dominant => nonsingular");
+        let x = f.solve(&b);
+        prop_assert!(hpl_residual(n, &a, &x, &b) < 32.0);
+    }
+
+    #[test]
+    fn zlu_solves_dominant_complex_systems(
+        n in 2usize..16,
+        seed in prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 16 * 16 + 16),
+    ) {
+        let mut a = vec![C64::ZERO; n * n];
+        let mut b = vec![C64::ZERO; n];
+        for i in 0..n {
+            b[i] = C64::new(seed[n * n + i].0, seed[n * n + i].1);
+            for j in 0..n {
+                a[i * n + j] = C64::new(seed[i * n + j].0, seed[i * n + j].1);
+            }
+            a[i * n + i] += C64::new(n as f64, 0.0);
+        }
+        let f = zlu_factor(n, &a).expect("dominant => nonsingular");
+        let x = f.solve(&b);
+        prop_assert!(zresidual(n, &a, &x, &b) < 1e-9);
+    }
+
+    #[test]
+    fn cg_variants_agree_on_spd_systems(
+        nx in 3usize..12,
+        ny in 3usize..12,
+        rhs in prop::collection::vec(-10.0f64..10.0, 12 * 12),
+    ) {
+        let a = laplacian_2d(nx, ny);
+        let b: Vec<f64> = rhs[..a.n].to_vec();
+        let std = cg(&a, &b, 1e-11, 5000);
+        let cgv = cg_chronopoulos_gear(&a, &b, 1e-11, 5000);
+        prop_assert!(std.converged && cgv.converged);
+        for (x, y) in std.x.iter().zip(&cgv.x) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+        // The C-G variant always does half the reductions per iteration.
+        prop_assert_eq!(cgv.reductions, cgv.iterations + 1);
+    }
+
+    #[test]
+    fn spmv_linearity(
+        nx in 2usize..10,
+        ny in 2usize..10,
+        v in prop::collection::vec(-5.0f64..5.0, 100),
+        k in -4.0f64..4.0,
+    ) {
+        let a: Csr = laplacian_2d(nx, ny);
+        let x: Vec<f64> = v[..a.n].to_vec();
+        let kx: Vec<f64> = x.iter().map(|t| t * k).collect();
+        let mut y1 = vec![0.0; a.n];
+        let mut y2 = vec![0.0; a.n];
+        a.spmv(&x, &mut y1);
+        a.spmv(&kx, &mut y2);
+        for (p, q) in y1.iter().zip(&y2) {
+            prop_assert!((p * k - q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_involution(rows in 1usize..40, cols in 1usize..40, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let a: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut t = vec![0.0; rows * cols];
+        let mut back = vec![0.0; rows * cols];
+        transpose(rows, cols, &a, &mut t);
+        transpose(cols, rows, &t, &mut back);
+        prop_assert_eq!(a, back);
+    }
+
+    #[test]
+    fn gups_replay_restores_table(log_size in 4u32..12, start in any::<u64>(), updates in 1u64..2000) {
+        let mut t = GupsTable::new(1 << log_size);
+        t.run(start % (1 << 40), updates);
+        prop_assert_eq!(t.verify(start % (1 << 40), updates), 0);
+    }
+
+    #[test]
+    fn stream_triad_pointwise(s in -10.0f64..10.0, vals in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 1..200)) {
+        let b: Vec<f64> = vals.iter().map(|v| v.0).collect();
+        let c: Vec<f64> = vals.iter().map(|v| v.1).collect();
+        let mut a = vec![0.0; b.len()];
+        stream::triad(s, &b, &c, &mut a);
+        for i in 0..a.len() {
+            prop_assert!((a[i] - (b[i] + s * c[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn md_conserves_momentum(n in 8usize..60, seed in any::<u64>()) {
+        let mut sys = MdSystem::lattice(n, 9.0, 2.5, seed);
+        for _ in 0..3 {
+            sys.step(1e-4);
+        }
+        for d in 0..3 {
+            let p: f64 = sys.vel.iter().map(|v| v[d]).sum();
+            prop_assert!(p.abs() < 1e-8, "dim {} momentum {}", d, p);
+        }
+    }
+
+    #[test]
+    fn md_cell_list_equals_naive(n in 8usize..80, seed in any::<u64>()) {
+        let sys = MdSystem::lattice(n, 10.0, 2.5, seed);
+        let (f1, p1) = sys.forces_naive();
+        let (f2, p2) = sys.forces_cell_list();
+        prop_assert!((p1 - p2).abs() <= 1e-9 * p1.abs().max(1.0));
+        for (a, b) in f1.iter().zip(&f2) {
+            for d in 0..3 {
+                prop_assert!((a[d] - b[d]).abs() < 1e-9);
+            }
+        }
+    }
+}

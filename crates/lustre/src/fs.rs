@@ -1,0 +1,441 @@
+//! The Lustre-style filesystem model: one MDS, OSSes serving OSTs, striped
+//! files, per-client links.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use xtsim_des::{FifoStation, FluidPool, LinkId, SimDuration, SimHandle};
+
+/// Identifies an Object Storage Target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OstId(pub usize);
+
+/// Filesystem deployment parameters.
+#[derive(Debug, Clone)]
+pub struct LustreConfig {
+    /// Object Storage Servers.
+    pub oss_count: usize,
+    /// OSTs attached to each OSS.
+    pub osts_per_oss: usize,
+    /// Default stripe count for new files.
+    pub default_stripe_count: usize,
+    /// Stripe width, bytes (Lustre default: 1 MiB).
+    pub stripe_size_bytes: u64,
+    /// Metadata operation service time at the MDS, µs.
+    pub mds_op_us: f64,
+    /// Service bandwidth of one OSS network port, GB/s.
+    pub oss_bw_gbs: f64,
+    /// Disk bandwidth of one OST, GB/s.
+    pub ost_bw_gbs: f64,
+    /// Bandwidth of one compute-node client (liblustre over the SeaStar), GB/s.
+    pub client_bw_gbs: f64,
+    /// One-way RPC latency between client and servers, µs.
+    pub rpc_latency_us: f64,
+}
+
+impl Default for LustreConfig {
+    fn default() -> Self {
+        // Roughly the NCCS XT4 I/O subsystem scale, reduced: 9 OSS × 4 OST.
+        LustreConfig {
+            oss_count: 9,
+            osts_per_oss: 4,
+            default_stripe_count: 4,
+            stripe_size_bytes: 1 << 20,
+            mds_op_us: 60.0,
+            oss_bw_gbs: 1.2,
+            ost_bw_gbs: 0.4,
+            client_bw_gbs: 1.1,
+            rpc_latency_us: 12.0,
+        }
+    }
+}
+
+struct FileMeta {
+    stripe_count: usize,
+    first_ost: usize,
+    size: u64,
+}
+
+/// Cumulative I/O statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IoStats {
+    /// Bytes written through the filesystem.
+    pub bytes_written: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Metadata operations served by the MDS.
+    pub mds_ops: u64,
+}
+
+struct LustreInner {
+    handle: SimHandle,
+    cfg: LustreConfig,
+    mds: FifoStation,
+    pool: FluidPool,
+    oss_links: Vec<LinkId>,
+    ost_links: Vec<LinkId>,
+    files: RefCell<HashMap<u64, FileMeta>>,
+    next_fid: RefCell<u64>,
+    next_client: RefCell<usize>,
+    stats: RefCell<IoStats>,
+}
+
+/// A simulated Lustre filesystem instance.
+#[derive(Clone)]
+pub struct Lustre {
+    inner: Rc<LustreInner>,
+}
+
+/// An open file as seen by one client.
+#[derive(Debug, Clone, Copy)]
+pub struct FileHandle {
+    /// File identifier ("inode"/FID).
+    pub fid: u64,
+    client_link: LinkId,
+}
+
+impl Lustre {
+    /// Deploy a filesystem inside simulation `handle`.
+    pub fn new(handle: SimHandle, cfg: LustreConfig) -> Lustre {
+        assert!(cfg.oss_count >= 1 && cfg.osts_per_oss >= 1);
+        let pool = FluidPool::new(handle.clone());
+        let oss_links: Vec<LinkId> = (0..cfg.oss_count)
+            .map(|_| pool.add_link(cfg.oss_bw_gbs * 1e9))
+            .collect();
+        let ost_links: Vec<LinkId> = (0..cfg.oss_count * cfg.osts_per_oss)
+            .map(|_| pool.add_link(cfg.ost_bw_gbs * 1e9))
+            .collect();
+        Lustre {
+            inner: Rc::new(LustreInner {
+                mds: FifoStation::new(handle.clone(), 1),
+                cfg,
+                handle,
+                pool,
+                oss_links,
+                ost_links,
+                files: RefCell::new(HashMap::new()),
+                next_fid: RefCell::new(1),
+                next_client: RefCell::new(0),
+                stats: RefCell::new(IoStats::default()),
+            }),
+        }
+    }
+
+    /// Total number of OSTs.
+    pub fn ost_count(&self) -> usize {
+        self.inner.ost_links.len()
+    }
+
+    /// Register a compute-node client; returns its id (used to create its
+    /// private network link into the I/O subsystem).
+    pub fn register_client(&self) -> Client {
+        let id = {
+            let mut c = self.inner.next_client.borrow_mut();
+            *c += 1;
+            *c - 1
+        };
+        let link = self.inner.pool.add_link(self.inner.cfg.client_bw_gbs * 1e9);
+        Client {
+            fs: self.clone(),
+            id,
+            link,
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> IoStats {
+        *self.inner.stats.borrow()
+    }
+
+    /// The OSTs a file with `stripe_count` starting at `first_ost` touches
+    /// for byte range `[offset, offset+len)`, with per-OST byte counts.
+    pub fn layout(
+        &self,
+        stripe_count: usize,
+        first_ost: usize,
+        stripe_size: u64,
+        offset: u64,
+        len: u64,
+    ) -> Vec<(OstId, u64)> {
+        let nost = self.ost_count();
+        let mut per_ost: HashMap<usize, u64> = HashMap::new();
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let stripe_idx = pos / stripe_size;
+            let in_stripe = pos % stripe_size;
+            let chunk = (stripe_size - in_stripe).min(end - pos);
+            let ost = (first_ost + (stripe_idx as usize % stripe_count)) % nost;
+            *per_ost.entry(ost).or_insert(0) += chunk;
+            pos += chunk;
+        }
+        let mut v: Vec<(OstId, u64)> = per_ost.into_iter().map(|(o, b)| (OstId(o), b)).collect();
+        v.sort_by_key(|(o, _)| o.0);
+        v
+    }
+
+    async fn mds_op(&self) {
+        let inner = &self.inner;
+        inner
+            .handle
+            .sleep(SimDuration::from_secs_f64(
+                inner.cfg.rpc_latency_us * 1e-6,
+            ))
+            .await;
+        inner
+            .mds
+            .serve(SimDuration::from_secs_f64(inner.cfg.mds_op_us * 1e-6))
+            .await;
+        inner.stats.borrow_mut().mds_ops += 1;
+    }
+}
+
+/// A compute-node client of the filesystem (one per rank in IOR runs).
+#[derive(Clone)]
+pub struct Client {
+    fs: Lustre,
+    id: usize,
+    link: LinkId,
+}
+
+impl Client {
+    /// Client id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Create a file striped over `stripe_count` OSTs (capped at the OST
+    /// count). One MDS round trip.
+    pub async fn create(&self, stripe_count: usize) -> FileHandle {
+        let fs = &self.fs;
+        fs.mds_op().await;
+        let inner = &fs.inner;
+        let stripe_count = stripe_count.clamp(1, fs.ost_count());
+        let fid = {
+            let mut next = inner.next_fid.borrow_mut();
+            let fid = *next;
+            *next += 1;
+            fid
+        };
+        let first_ost = (fid as usize * 7) % fs.ost_count();
+        inner.files.borrow_mut().insert(
+            fid,
+            FileMeta {
+                stripe_count,
+                first_ost,
+                size: 0,
+            },
+        );
+        FileHandle {
+            fid,
+            client_link: self.link,
+        }
+    }
+
+    /// Open an existing file. One MDS round trip.
+    pub async fn open(&self, fid: u64) -> Option<FileHandle> {
+        self.fs.mds_op().await;
+        self.fs.inner.files.borrow().get(&fid)?;
+        Some(FileHandle {
+            fid,
+            client_link: self.link,
+        })
+    }
+
+    /// Write `len` bytes at `offset`: data streams through the client link,
+    /// the owning OSS port, and the OST disk channel of every stripe touched.
+    pub async fn write(&self, fh: FileHandle, offset: u64, len: u64) {
+        self.transfer(fh, offset, len, true).await;
+    }
+
+    /// Read `len` bytes at `offset` (same path as write, opposite direction).
+    pub async fn read(&self, fh: FileHandle, offset: u64, len: u64) {
+        self.transfer(fh, offset, len, false).await;
+    }
+
+    async fn transfer(&self, fh: FileHandle, offset: u64, len: u64, is_write: bool) {
+        if len == 0 {
+            return;
+        }
+        let fs = &self.fs;
+        let inner = &fs.inner;
+        let (stripe_count, first_ost) = {
+            let files = inner.files.borrow();
+            let meta = files.get(&fh.fid).expect("file exists");
+            (meta.stripe_count, meta.first_ost)
+        };
+        inner
+            .handle
+            .sleep(SimDuration::from_secs_f64(
+                inner.cfg.rpc_latency_us * 1e-6,
+            ))
+            .await;
+        let layout = fs.layout(
+            stripe_count,
+            first_ost,
+            inner.cfg.stripe_size_bytes,
+            offset,
+            len,
+        );
+        let transfers: Vec<_> = layout
+            .iter()
+            .map(|&(OstId(ost), bytes)| {
+                let oss = ost / inner.cfg.osts_per_oss;
+                inner.pool.transfer(
+                    &[fh.client_link, inner.oss_links[oss], inner.ost_links[ost]],
+                    bytes as f64,
+                    None,
+                )
+            })
+            .collect();
+        xtsim_des::join_all(transfers).await;
+        let mut files = inner.files.borrow_mut();
+        let meta = files.get_mut(&fh.fid).expect("file exists");
+        if is_write {
+            meta.size = meta.size.max(offset + len);
+            inner.stats.borrow_mut().bytes_written += len;
+        } else {
+            inner.stats.borrow_mut().bytes_read += len;
+        }
+    }
+
+    /// Current file size (metadata read; one MDS round trip).
+    pub async fn stat(&self, fid: u64) -> Option<u64> {
+        self.fs.mds_op().await;
+        self.fs.inner.files.borrow().get(&fid).map(|m| m.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+    use xtsim_des::Sim;
+
+    fn fs_with(cfg: LustreConfig) -> (Sim, Lustre) {
+        let sim = Sim::new(0);
+        let fs = Lustre::new(sim.handle(), cfg);
+        (sim, fs)
+    }
+
+    #[test]
+    fn layout_round_robins_stripes() {
+        let (_sim, fs) = fs_with(LustreConfig::default());
+        // 4 MiB at offset 0, stripe 1 MiB, count 4 starting at OST 2.
+        let l = fs.layout(4, 2, 1 << 20, 0, 4 << 20);
+        assert_eq!(l.len(), 4);
+        for (_, bytes) in &l {
+            assert_eq!(*bytes, 1 << 20);
+        }
+        let osts: Vec<usize> = l.iter().map(|(o, _)| o.0).collect();
+        assert!(osts.contains(&2) && osts.contains(&3) && osts.contains(&4) && osts.contains(&5));
+    }
+
+    #[test]
+    fn layout_handles_unaligned_ranges() {
+        let (_sim, fs) = fs_with(LustreConfig::default());
+        let l = fs.layout(2, 0, 1 << 20, (1 << 20) - 10, 20);
+        // Straddles stripes 0 and 1 -> two OSTs, 10 bytes each.
+        assert_eq!(l.len(), 2);
+        assert_eq!(l[0].1 + l[1].1, 20);
+    }
+
+    #[test]
+    fn stripe_count_one_is_bound_by_single_ost() {
+        let cfg = LustreConfig::default();
+        let ost_bw = cfg.ost_bw_gbs;
+        let (mut sim, fs) = fs_with(cfg);
+        let client = fs.register_client();
+        let bytes = 1u64 << 30;
+        sim.spawn(async move {
+            let fh = client.create(1).await;
+            client.write(fh, 0, bytes).await;
+        });
+        let t = sim.run().as_secs_f64();
+        let gbs = bytes as f64 / t / 1e9;
+        assert!((gbs - ost_bw).abs() < 0.05, "{gbs} vs {ost_bw}");
+    }
+
+    #[test]
+    fn wide_striping_is_client_bound() {
+        // Striping across many OSTs: the client's own link binds (~1.1 GB/s).
+        let cfg = LustreConfig::default();
+        let client_bw = cfg.client_bw_gbs;
+        let (mut sim, fs) = fs_with(cfg);
+        let client = fs.register_client();
+        let bytes = 1u64 << 30;
+        sim.spawn(async move {
+            let fh = client.create(36).await;
+            client.write(fh, 0, bytes).await;
+        });
+        let t = sim.run().as_secs_f64();
+        let gbs = bytes as f64 / t / 1e9;
+        assert!((gbs - client_bw).abs() < 0.1, "{gbs} vs {client_bw}");
+    }
+
+    #[test]
+    fn mds_serializes_metadata_storm() {
+        // 100 clients creating files: makespan >= 100 * mds service time.
+        let cfg = LustreConfig::default();
+        let op_s = cfg.mds_op_us * 1e-6;
+        let (mut sim, fs) = fs_with(cfg);
+        for _ in 0..100 {
+            let c = fs.register_client();
+            sim.spawn(async move {
+                c.create(4).await;
+            });
+        }
+        let t = sim.run().as_secs_f64();
+        assert!(t >= 100.0 * op_s, "{t}");
+        assert_eq!(fs.stats().mds_ops, 100);
+    }
+
+    #[test]
+    fn file_size_tracks_writes() {
+        let (mut sim, fs) = fs_with(LustreConfig::default());
+        let client = fs.register_client();
+        let out = Rc::new(std::cell::RefCell::new(0u64));
+        let o2 = Rc::clone(&out);
+        sim.spawn(async move {
+            let fh = client.create(2).await;
+            client.write(fh, 0, 1000).await;
+            client.write(fh, 5000, 500).await;
+            *o2.borrow_mut() = client.stat(fh.fid).await.unwrap();
+        });
+        sim.run();
+        assert_eq!(*out.borrow(), 5500);
+    }
+
+    #[test]
+    fn open_missing_file_is_none() {
+        let (mut sim, fs) = fs_with(LustreConfig::default());
+        let client = fs.register_client();
+        sim.spawn(async move {
+            assert!(client.open(999).await.is_none());
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn aggregate_bandwidth_saturates_backend() {
+        // Many clients writing to distinct files: bound by OST aggregate
+        // (36 OST x 0.4 = 14.4 GB/s) vs OSS aggregate (9 x 1.2 = 10.8):
+        // OSS ports bind.
+        let cfg = LustreConfig::default();
+        let oss_agg = cfg.oss_bw_gbs * cfg.oss_count as f64;
+        let (mut sim, fs) = fs_with(cfg);
+        let bytes = 256u64 << 20;
+        for _ in 0..32 {
+            let c = fs.register_client();
+            sim.spawn(async move {
+                let fh = c.create(4).await;
+                c.write(fh, 0, bytes).await;
+            });
+        }
+        let t = sim.run().as_secs_f64();
+        let gbs = 32.0 * bytes as f64 / t / 1e9;
+        assert!(gbs < oss_agg * 1.05, "{gbs} exceeds backend {oss_agg}");
+        assert!(gbs > oss_agg * 0.6, "{gbs} far below backend {oss_agg}");
+    }
+}

@@ -1,0 +1,198 @@
+//! IOR-style parallel I/O benchmark driver (reference [14] of the paper).
+//!
+//! Each client writes a `block_size` region in `transfer_size` chunks
+//! (file-per-process or a single shared file at disjoint offsets), then
+//! reads it back; the harness reports aggregate write/read bandwidth and the
+//! metadata (open) phase cost.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use xtsim_des::{Sim, SimBarrier};
+
+use crate::fs::{Lustre, LustreConfig};
+
+/// IOR run parameters.
+#[derive(Debug, Clone)]
+pub struct IorConfig {
+    /// Number of client processes.
+    pub clients: usize,
+    /// Bytes each client writes/reads.
+    pub block_size: u64,
+    /// I/O request size.
+    pub transfer_size: u64,
+    /// Stripe count for created files.
+    pub stripe_count: usize,
+    /// One file per process (`true`) or a single shared file (`false`).
+    pub file_per_process: bool,
+}
+
+impl Default for IorConfig {
+    fn default() -> Self {
+        IorConfig {
+            clients: 16,
+            block_size: 64 << 20,
+            transfer_size: 4 << 20,
+            stripe_count: 4,
+            file_per_process: true,
+        }
+    }
+}
+
+/// IOR results.
+#[derive(Debug, Clone, Copy)]
+pub struct IorResult {
+    /// Aggregate write bandwidth, GB/s.
+    pub write_gbs: f64,
+    /// Aggregate read bandwidth, GB/s.
+    pub read_gbs: f64,
+    /// Time spent in the open/create (metadata) phase, seconds.
+    pub open_secs: f64,
+    /// Metadata operations issued.
+    pub mds_ops: u64,
+}
+
+/// Run IOR on a fresh filesystem.
+pub fn run_ior(seed: u64, fs_cfg: LustreConfig, cfg: IorConfig) -> IorResult {
+    let mut sim = Sim::new(seed);
+    let fs = Lustre::new(sim.handle(), fs_cfg);
+    let barrier = SimBarrier::new(cfg.clients);
+    // Phase timestamps: (open_end, write_end, read_end) as maxima.
+    let marks = Rc::new(RefCell::new((0.0f64, 0.0f64, 0.0f64)));
+
+    // For the shared-file mode, client 0 creates; others open after a barrier.
+    let shared_fid = Rc::new(RefCell::new(None::<u64>));
+
+    for c in 0..cfg.clients {
+        let client = fs.register_client();
+        let barrier = barrier.clone();
+        let marks = Rc::clone(&marks);
+        let shared_fid = Rc::clone(&shared_fid);
+        let cfg = cfg.clone();
+        let h = sim.handle();
+        sim.spawn(async move {
+            // --- open phase ---
+            let fh = if cfg.file_per_process {
+                client.create(cfg.stripe_count).await
+            } else if c == 0 {
+                let fh = client.create(cfg.stripe_count).await;
+                *shared_fid.borrow_mut() = Some(fh.fid);
+                fh
+            } else {
+                barrier.wait().await; // wait for creator
+                let fid = shared_fid.borrow().expect("created");
+                client.open(fid).await.expect("shared file exists")
+            };
+            if !cfg.file_per_process && c == 0 {
+                barrier.wait().await;
+            }
+            barrier.wait().await;
+            {
+                let mut m = marks.borrow_mut();
+                m.0 = m.0.max(h.now().as_secs_f64());
+            }
+            // --- write phase ---
+            let base = if cfg.file_per_process {
+                0
+            } else {
+                c as u64 * cfg.block_size
+            };
+            let mut off = 0;
+            while off < cfg.block_size {
+                let chunk = cfg.transfer_size.min(cfg.block_size - off);
+                client.write(fh, base + off, chunk).await;
+                off += chunk;
+            }
+            barrier.wait().await;
+            {
+                let mut m = marks.borrow_mut();
+                m.1 = m.1.max(h.now().as_secs_f64());
+            }
+            // --- read phase ---
+            let mut off = 0;
+            while off < cfg.block_size {
+                let chunk = cfg.transfer_size.min(cfg.block_size - off);
+                client.read(fh, base + off, chunk).await;
+                off += chunk;
+            }
+            barrier.wait().await;
+            {
+                let mut m = marks.borrow_mut();
+                m.2 = m.2.max(h.now().as_secs_f64());
+            }
+        });
+    }
+    sim.run();
+    let (open_end, write_end, read_end) = *marks.borrow();
+    let total = cfg.clients as u64 * cfg.block_size;
+    IorResult {
+        write_gbs: total as f64 / (write_end - open_end).max(1e-12) / 1e9,
+        read_gbs: total as f64 / (read_end - write_end).max(1e-12) / 1e9,
+        open_secs: open_end,
+        mds_ops: fs.stats().mds_ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> IorConfig {
+        IorConfig {
+            clients: 8,
+            block_size: 16 << 20,
+            transfer_size: 4 << 20,
+            stripe_count: 4,
+            file_per_process: true,
+        }
+    }
+
+    #[test]
+    fn ior_reports_positive_bandwidths() {
+        let r = run_ior(1, LustreConfig::default(), small());
+        assert!(r.write_gbs > 0.5, "{r:?}");
+        assert!(r.read_gbs > 0.5, "{r:?}");
+        assert_eq!(r.mds_ops, 8);
+    }
+
+    #[test]
+    fn shared_file_uses_one_create_plus_opens() {
+        let mut cfg = small();
+        cfg.file_per_process = false;
+        let r = run_ior(1, LustreConfig::default(), cfg);
+        // 1 create + 7 opens.
+        assert_eq!(r.mds_ops, 8);
+        assert!(r.write_gbs > 0.5);
+    }
+
+    #[test]
+    fn aggregate_bw_bounded_by_backend() {
+        let fs_cfg = LustreConfig::default();
+        let backend = (fs_cfg.oss_bw_gbs * fs_cfg.oss_count as f64)
+            .min(fs_cfg.ost_bw_gbs * (fs_cfg.oss_count * fs_cfg.osts_per_oss) as f64);
+        let mut cfg = small();
+        cfg.clients = 32;
+        let r = run_ior(1, fs_cfg, cfg);
+        assert!(r.write_gbs <= backend * 1.05, "{} > {backend}", r.write_gbs);
+    }
+
+    #[test]
+    fn more_clients_scale_until_saturation() {
+        // 2 clients are bound by their own links (~2.2 GB/s aggregate);
+        // 16 clients approach the OSS backend.
+        let r2 = run_ior(1, LustreConfig::default(), IorConfig { clients: 2, ..small() });
+        let r16 = run_ior(1, LustreConfig::default(), IorConfig { clients: 16, ..small() });
+        assert!(r16.write_gbs > 2.0 * r2.write_gbs, "{} vs {}", r2.write_gbs, r16.write_gbs);
+    }
+
+    #[test]
+    fn open_storm_cost_grows_with_clients() {
+        let mut a = small();
+        a.clients = 4;
+        let mut b = small();
+        b.clients = 64;
+        let ra = run_ior(1, LustreConfig::default(), a);
+        let rb = run_ior(1, LustreConfig::default(), b);
+        assert!(rb.open_secs > ra.open_secs, "{} vs {}", ra.open_secs, rb.open_secs);
+    }
+}

@@ -1,0 +1,19 @@
+//! # xtsim-lustre — object-based parallel filesystem model
+//!
+//! The paper's Figure 1 architecture: compute-node clients (`liblustre`)
+//! talk to one **Metadata Server** (MDS — a single FIFO service station,
+//! reproducing the single-MDS metadata bottleneck §2 calls out) and a set of
+//! **Object Storage Servers** (OSS), each serving several **Object Storage
+//! Targets** (OST). Files are striped round-robin across OSTs; reads and
+//! writes stream through the owning OSS's network port and the OST's disk
+//! channel, sharing bandwidth max-min fairly.
+//!
+//! An IOR-style benchmark driver lives in [`ior`].
+
+#![warn(missing_docs)]
+
+pub mod fs;
+pub mod ior;
+
+pub use fs::{Client, FileHandle, IoStats, Lustre, LustreConfig, OstId};
+pub use ior::{run_ior, IorConfig, IorResult};

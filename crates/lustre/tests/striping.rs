@@ -1,0 +1,85 @@
+//! Striping-layout and concurrency tests for the Lustre model.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use xtsim_des::Sim;
+use xtsim_lustre::{Lustre, LustreConfig, OstId};
+
+#[test]
+fn layout_covers_every_byte_exactly_once() {
+    let sim = Sim::new(0);
+    let fs = Lustre::new(sim.handle(), LustreConfig::default());
+    for (offset, len) in [(0u64, 1u64), (1000, 1 << 22), (123_456, 7_654_321), ((1 << 20) - 1, 2)] {
+        let layout = fs.layout(4, 3, 1 << 20, offset, len);
+        let total: u64 = layout.iter().map(|(_, b)| b).sum();
+        assert_eq!(total, len, "offset {offset} len {len}");
+        for (OstId(o), _) in &layout {
+            assert!(*o < fs.ost_count());
+        }
+    }
+}
+
+#[test]
+fn stripe_count_clamps_to_ost_count() {
+    let mut sim = Sim::new(0);
+    let fs = Lustre::new(sim.handle(), LustreConfig::default());
+    let client = fs.register_client();
+    let bytes = 256u64 << 20;
+    let t = Rc::new(RefCell::new(0.0f64));
+    let t2 = Rc::clone(&t);
+    let h = sim.handle();
+    sim.spawn(async move {
+        let fh = client.create(10_000).await; // absurd stripe request
+        client.write(fh, 0, bytes).await;
+        *t2.borrow_mut() = h.now().as_secs_f64();
+    });
+    sim.run();
+    // Clamped to 36 OSTs; the client link (1.1 GB/s) binds.
+    let gbs = bytes as f64 / *t.borrow() / 1e9;
+    assert!(gbs > 1.0 && gbs < 1.2, "{gbs}");
+}
+
+#[test]
+fn readers_and_writers_share_backend_fairly() {
+    let mut sim = Sim::new(0);
+    let fs = Lustre::new(sim.handle(), LustreConfig::default());
+    let bytes = 64u64 << 20;
+    let ends: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
+    for i in 0..4 {
+        let c = fs.register_client();
+        let ends = Rc::clone(&ends);
+        let h = sim.handle();
+        sim.spawn(async move {
+            let fh = c.create(4).await;
+            c.write(fh, 0, bytes).await;
+            if i % 2 == 0 {
+                c.read(fh, 0, bytes).await;
+            }
+            ends.borrow_mut().push(h.now().as_secs_f64());
+        });
+    }
+    sim.run();
+    let ends = ends.borrow();
+    assert_eq!(ends.len(), 4);
+    // Readers did twice the I/O; they must finish later than pure writers.
+    let max = ends.iter().cloned().fold(0.0, f64::max);
+    let min = ends.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(max > 1.3 * min, "read-back invisible: {ends:?}");
+}
+
+#[test]
+fn stats_track_read_and_write_separately() {
+    let mut sim = Sim::new(0);
+    let fs = Lustre::new(sim.handle(), LustreConfig::default());
+    let c = fs.register_client();
+    sim.spawn(async move {
+        let fh = c.create(2).await;
+        c.write(fh, 0, 1000).await;
+        c.read(fh, 0, 400).await;
+    });
+    sim.run();
+    let s = fs.stats();
+    assert_eq!(s.bytes_written, 1000);
+    assert_eq!(s.bytes_read, 400);
+    assert_eq!(s.mds_ops, 1);
+}

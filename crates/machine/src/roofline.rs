@@ -1,0 +1,176 @@
+//! Roofline-style compute-time model.
+//!
+//! A [`WorkPacket`] describes one core's slice of computation in terms the
+//! balance model can price:
+//!
+//! * `flops` — retired double-precision flops, pipelined at an
+//!   efficiency-scaled core rate;
+//! * `serial_dram_bytes` — memory traffic whose cost is *not* shared between
+//!   cores (dependent-stride, prefetch-limited traffic priced at the
+//!   single-stream bandwidth);
+//! * `shared_dram_bytes` — streaming traffic that contends on the socket's
+//!   memory controller (a fluid link in the node model);
+//! * `random_refs` — random table updates that contend on the socket's
+//!   random-access capacity (GUPS).
+//!
+//! The *uncontended* time is available here (pure math, used for SP-mode
+//! estimates and unit tests); the node model in `xtsim-net` executes the same
+//! packet against fluid resources so that EP/VN-mode contention emerges.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::MachineSpec;
+
+/// One core's slice of computation, priced by the balance model.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WorkPacket {
+    /// Retired double-precision flops.
+    pub flops: f64,
+    /// Fraction of the core's *peak* flop rate this kernel's inner loops
+    /// sustain when not memory-bound (1.0 = perfectly pipelined).
+    pub flop_efficiency: f64,
+    /// Non-shareable (single-stream) DRAM traffic, bytes.
+    pub serial_dram_bytes: f64,
+    /// Shareable streaming DRAM traffic through the socket controller, bytes.
+    pub shared_dram_bytes: f64,
+    /// Random memory updates (GUPS-class references).
+    pub random_refs: f64,
+}
+
+impl WorkPacket {
+    /// A packet of pure, cache-resident flops.
+    pub fn flops_only(flops: f64, efficiency: f64) -> Self {
+        WorkPacket {
+            flops,
+            flop_efficiency: efficiency,
+            ..Default::default()
+        }
+    }
+
+    /// A streaming packet: flops plus shared-controller traffic (STREAM-class).
+    pub fn streaming(flops: f64, efficiency: f64, bytes: f64) -> Self {
+        WorkPacket {
+            flops,
+            flop_efficiency: efficiency,
+            shared_dram_bytes: bytes,
+            ..Default::default()
+        }
+    }
+
+    /// Sum of two packets (e.g. accumulate phases).
+    pub fn merge(self, other: WorkPacket) -> WorkPacket {
+        // Weighted flop efficiency so merged packets price correctly.
+        let fl = self.flops + other.flops;
+        let eff = if fl > 0.0 {
+            fl / (self.flops / self.flop_efficiency.max(1e-12)
+                + other.flops / other.flop_efficiency.max(1e-12))
+        } else {
+            1.0
+        };
+        WorkPacket {
+            flops: fl,
+            flop_efficiency: eff,
+            serial_dram_bytes: self.serial_dram_bytes + other.serial_dram_bytes,
+            shared_dram_bytes: self.shared_dram_bytes + other.shared_dram_bytes,
+            random_refs: self.random_refs + other.random_refs,
+        }
+    }
+
+    /// Uncontended execution time on one core of `machine`, seconds.
+    ///
+    /// Flop and memory phases are assumed non-overlapping for the serial and
+    /// random terms (they are dependence-limited by construction) and
+    /// overlapping for the shared streaming term (hardware prefetch), hence:
+    /// `t = max(t_flop, t_shared) + t_serial + t_random`.
+    pub fn uncontended_time(&self, machine: &MachineSpec) -> f64 {
+        let t_flop = self.flop_time(machine);
+        let t_shared = self.shared_dram_bytes / (machine.memory.stream_bw_socket_gbs * 1e9);
+        let t_serial = self.serial_dram_bytes / (machine.memory.single_stream_bw_gbs * 1e9);
+        let t_random = self.random_refs / (machine.memory.random_gups_socket * 1e9);
+        t_flop.max(t_shared) + t_serial + t_random
+    }
+
+    /// Time of the flop phase alone, seconds.
+    pub fn flop_time(&self, machine: &MachineSpec) -> f64 {
+        if self.flops <= 0.0 {
+            return 0.0;
+        }
+        let eff = self.flop_efficiency.clamp(1e-3, 1.0);
+        self.flops / (machine.processor.core_peak_flops() * eff)
+    }
+
+    /// Effective GFLOPS this packet achieves uncontended on `machine`.
+    pub fn uncontended_gflops(&self, machine: &MachineSpec) -> f64 {
+        let t = self.uncontended_time(machine);
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.flops / t / 1e9
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn pure_flops_price_at_peak_times_efficiency() {
+        let m = presets::xt4(); // core peak 5.2 GF
+        let w = WorkPacket::flops_only(5.2e9, 1.0);
+        assert!((w.uncontended_time(&m) - 1.0).abs() < 1e-12);
+        let w2 = WorkPacket::flops_only(5.2e9, 0.5);
+        assert!((w2.uncontended_time(&m) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_packet_is_bandwidth_bound() {
+        let m = presets::xt4(); // 7.3 GB/s socket stream
+        // 73 GB of traffic, negligible flops: 10 s.
+        let w = WorkPacket::streaming(1.0, 1.0, 73.0e9);
+        assert!((w.uncontended_time(&m) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_refs_price_at_gups() {
+        let m = presets::xt3_single(); // 0.014 GUPS
+        let w = WorkPacket {
+            random_refs: 0.014e9,
+            flop_efficiency: 1.0,
+            ..Default::default()
+        };
+        assert!((w.uncontended_time(&m) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn xt4_beats_xt3_on_memory_bound_work() {
+        let xt3 = presets::xt3_single();
+        let xt4 = presets::xt4();
+        let w = WorkPacket {
+            flops: 1e9,
+            flop_efficiency: 0.9,
+            serial_dram_bytes: 8e9,
+            ..Default::default()
+        };
+        assert!(w.uncontended_time(&xt4) < w.uncontended_time(&xt3));
+    }
+
+    #[test]
+    fn merge_adds_and_preserves_pricing() {
+        let m = presets::xt4();
+        let a = WorkPacket::flops_only(1e9, 1.0);
+        let b = WorkPacket::flops_only(2e9, 0.5);
+        let merged = a.merge(b);
+        let t_sep = a.uncontended_time(&m) + b.uncontended_time(&m);
+        let t_merged = merged.uncontended_time(&m);
+        assert!((t_sep - t_merged).abs() / t_sep < 1e-9);
+        assert_eq!(merged.flops, 3e9);
+    }
+
+    #[test]
+    fn zero_packet_takes_zero_time() {
+        let m = presets::xt4();
+        assert_eq!(WorkPacket::default().uncontended_time(&m), 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Table 1 of the paper: side-by-side system comparison.
+
+use crate::spec::MachineSpec;
+
+/// Render the paper's Table 1 ("Comparison of XT3, XT3 dual core, and XT4
+/// systems at ORNL") for an arbitrary set of machines, as fixed-width text.
+pub fn system_comparison(machines: &[&MachineSpec]) -> String {
+    let mut rows: Vec<(String, Vec<String>)> = Vec::new();
+    let get = |f: &dyn Fn(&MachineSpec) -> String| -> Vec<String> {
+        machines.iter().map(|m| f(m)).collect()
+    };
+    rows.push(("Processor".into(), get(&|m| m.processor.name.clone())));
+    rows.push((
+        "Processor Sockets".into(),
+        get(&|m| format!("{}", m.node_count())),
+    ));
+    rows.push((
+        "Processor Cores".into(),
+        get(&|m| format!("{}", m.core_count())),
+    ));
+    rows.push(("Memory".into(), get(&|m| m.memory.technology.clone())));
+    rows.push((
+        "Memory Capacity".into(),
+        get(&|m| format!("{}GB/core", m.memory.capacity_gb_per_core)),
+    ));
+    rows.push((
+        "Memory Bandwidth".into(),
+        get(&|m| format!("{}GB/s", m.memory.peak_bw_gbs)),
+    ));
+    rows.push(("Interconnect".into(), get(&|m| m.nic.name.clone())));
+    rows.push((
+        "Network Injection Bandwidth".into(),
+        get(&|m| format!("{}GB/s", m.nic.injection_bw_gbs)),
+    ));
+
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut col_w: Vec<usize> = machines.iter().map(|m| m.name.len()).collect();
+    for (_, vals) in &rows {
+        for (i, v) in vals.iter().enumerate() {
+            col_w[i] = col_w[i].max(v.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{:label_w$}", ""));
+    for (i, m) in machines.iter().enumerate() {
+        out.push_str(&format!("  {:>w$}", m.name, w = col_w[i]));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(label_w + col_w.iter().map(|w| w + 2).sum::<usize>()));
+    out.push('\n');
+    for (label, vals) in &rows {
+        out.push_str(&format!("{label:label_w$}"));
+        for (i, v) in vals.iter().enumerate() {
+            out.push_str(&format!("  {:>w$}", v, w = col_w[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn table_contains_headline_numbers() {
+        let xt3 = presets::xt3_single();
+        let xt3d = presets::xt3_dual();
+        let xt4 = presets::xt4();
+        let t = system_comparison(&[&xt3, &xt3d, &xt4]);
+        assert!(t.contains("10.6GB/s"), "{t}");
+        assert!(t.contains("6.4GB/s"), "{t}");
+        assert!(t.contains("SeaStar2"), "{t}");
+        assert!(t.contains("4GB/s"), "{t}");
+        // Three data columns plus the label column on every row.
+        for line in t.lines().skip(2) {
+            assert!(!line.trim().is_empty());
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Message payloads.
+//!
+//! Performance studies mostly care about *sizes*, but the test suite (and
+//! the reduction collectives) need real data to verify that the simulated
+//! algorithms move and combine values correctly. A [`Message`] therefore
+//! carries a wire size plus an optional shared `f64` payload.
+
+use std::rc::Rc;
+
+/// A message: a wire size and an optional numeric payload.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Bytes on the wire.
+    pub bytes: u64,
+    /// Optional payload (shared, cheap to clone).
+    pub data: Option<Rc<[f64]>>,
+}
+
+impl Message {
+    /// Zero-byte control message.
+    pub fn empty() -> Message {
+        Message {
+            bytes: 0,
+            data: None,
+        }
+    }
+
+    /// A message of `bytes` with no payload (performance-only traffic).
+    pub fn of_bytes(bytes: u64) -> Message {
+        Message { bytes, data: None }
+    }
+
+    /// A message carrying `values`; wire size is 8 bytes per element.
+    pub fn from_values(values: Vec<f64>) -> Message {
+        Message {
+            bytes: (values.len() * 8) as u64,
+            data: Some(Rc::from(values.into_boxed_slice())),
+        }
+    }
+
+    /// Borrow the payload; panics if the message carries none.
+    pub fn values(&self) -> &[f64] {
+        self.data
+            .as_deref()
+            .expect("message carries no payload data")
+    }
+
+    /// Number of f64 elements implied by the wire size.
+    pub fn count(&self) -> usize {
+        (self.bytes / 8) as usize
+    }
+}
+
+/// Reduction operator for reduce/allreduce collectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise maximum.
+    Max,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise product.
+    Prod,
+}
+
+impl ReduceOp {
+    /// Apply the operator: `acc[i] = op(acc[i], x[i])`.
+    pub fn fold(self, acc: &mut [f64], x: &[f64]) {
+        assert_eq!(acc.len(), x.len(), "reduction length mismatch");
+        match self {
+            ReduceOp::Sum => acc.iter_mut().zip(x).for_each(|(a, b)| *a += b),
+            ReduceOp::Max => acc.iter_mut().zip(x).for_each(|(a, b)| *a = a.max(*b)),
+            ReduceOp::Min => acc.iter_mut().zip(x).for_each(|(a, b)| *a = a.min(*b)),
+            ReduceOp::Prod => acc.iter_mut().zip(x).for_each(|(a, b)| *a *= b),
+        }
+    }
+
+    /// Identity element of the operator.
+    pub fn identity(self) -> f64 {
+        match self {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Max => f64::NEG_INFINITY,
+            ReduceOp::Min => f64::INFINITY,
+            ReduceOp::Prod => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_values_sets_wire_size() {
+        let m = Message::from_values(vec![1.0, 2.0, 3.0]);
+        assert_eq!(m.bytes, 24);
+        assert_eq!(m.values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.count(), 3);
+    }
+
+    #[test]
+    fn reduce_ops_fold() {
+        let mut acc = vec![1.0, 5.0];
+        ReduceOp::Sum.fold(&mut acc, &[2.0, 2.0]);
+        assert_eq!(acc, vec![3.0, 7.0]);
+        ReduceOp::Max.fold(&mut acc, &[10.0, 0.0]);
+        assert_eq!(acc, vec![10.0, 7.0]);
+        ReduceOp::Min.fold(&mut acc, &[1.0, 100.0]);
+        assert_eq!(acc, vec![1.0, 7.0]);
+        ReduceOp::Prod.fold(&mut acc, &[2.0, 3.0]);
+        assert_eq!(acc, vec![2.0, 21.0]);
+    }
+
+    #[test]
+    fn identities_are_neutral() {
+        for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod] {
+            let mut acc = vec![op.identity(); 3];
+            let x = [1.5, -2.0, 0.25];
+            op.fold(&mut acc, &x);
+            assert_eq!(acc, x.to_vec(), "{op:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no payload")]
+    fn values_on_empty_panics() {
+        Message::of_bytes(16).values();
+    }
+}

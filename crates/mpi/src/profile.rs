@@ -1,0 +1,116 @@
+//! Per-rank time accounting — a simulated `mpiP`/CrayPat.
+//!
+//! The paper's application analyses attribute phase costs to specific MPI
+//! operations ("70% of the difference in the physics ... is due to the
+//! difference in time required in the MPI_Alltoallv calls", §6.1). The
+//! profiler records, per rank, time spent computing, blocked in
+//! point-to-point calls, and blocked in collectives, so the proxies can
+//! report the same breakdowns.
+//!
+//! Categories are exclusive: point-to-point traffic issued *inside* a
+//! collective algorithm accrues to the collective, not to p2p.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated per-rank activity.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankProfile {
+    /// Simulated seconds inside `compute` packets.
+    pub compute_secs: f64,
+    /// Simulated seconds blocked in point-to-point operations (send/recv/
+    /// sendrecv issued directly by the application).
+    pub p2p_secs: f64,
+    /// Simulated seconds blocked in collective operations.
+    pub collective_secs: f64,
+    /// Messages sent by this rank (application-level p2p only).
+    pub messages_sent: u64,
+    /// Payload bytes sent (application-level p2p only).
+    pub bytes_sent: u64,
+    /// Collective operations entered.
+    pub collectives: u64,
+}
+
+impl RankProfile {
+    /// Total accounted time.
+    pub fn total_secs(&self) -> f64 {
+        self.compute_secs + self.p2p_secs + self.collective_secs
+    }
+
+    /// Fraction of accounted time spent in MPI (p2p + collectives).
+    pub fn mpi_fraction(&self) -> f64 {
+        let t = self.total_secs();
+        if t <= 0.0 {
+            0.0
+        } else {
+            (self.p2p_secs + self.collective_secs) / t
+        }
+    }
+
+    /// Merge another rank's profile (for job-level aggregates).
+    pub fn merge(&mut self, other: &RankProfile) {
+        self.compute_secs += other.compute_secs;
+        self.p2p_secs += other.p2p_secs;
+        self.collective_secs += other.collective_secs;
+        self.messages_sent += other.messages_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.collectives += other.collectives;
+    }
+}
+
+/// Job-level profile summary.
+#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
+pub struct JobProfile {
+    /// Sum over ranks.
+    pub total: RankProfile,
+    /// The rank with the largest MPI fraction (the victim of imbalance).
+    pub max_mpi_fraction: f64,
+}
+
+impl JobProfile {
+    /// Build from per-rank profiles.
+    pub fn from_ranks(ranks: &[RankProfile]) -> JobProfile {
+        let mut total = RankProfile::default();
+        let mut max_mpi = 0.0f64;
+        for r in ranks {
+            total.merge(r);
+            max_mpi = max_mpi.max(r.mpi_fraction());
+        }
+        JobProfile {
+            total,
+            max_mpi_fraction: max_mpi,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = RankProfile {
+            compute_secs: 1.0,
+            p2p_secs: 2.0,
+            collective_secs: 3.0,
+            messages_sent: 4,
+            bytes_sent: 5,
+            collectives: 6,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.compute_secs, 2.0);
+        assert_eq!(a.messages_sent, 8);
+        assert_eq!(a.total_secs(), 12.0);
+    }
+
+    #[test]
+    fn mpi_fraction_bounds() {
+        let r = RankProfile {
+            compute_secs: 3.0,
+            p2p_secs: 1.0,
+            collective_secs: 0.0,
+            ..Default::default()
+        };
+        assert!((r.mpi_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(RankProfile::default().mpi_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Edge-case tests for the MPI layer: degenerate communicators, mixed
+//! protocol traffic, wildcard storms, nested sub-communicators.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use xtsim_machine::{fit_dims, presets, ExecMode};
+use xtsim_mpi::{simulate, CollectiveMode, Message, ReduceOp, WorldConfig};
+use xtsim_net::{ContentionModel, PlatformConfig};
+
+fn cfg(ranks: usize) -> WorldConfig {
+    let mut spec = presets::xt4();
+    spec.torus_dims = fit_dims(ranks);
+    let mut p = PlatformConfig::new(spec, ExecMode::SN, ranks);
+    p.contention = ContentionModel::Fluid;
+    let mut w = WorldConfig::new(p);
+    w.collectives = CollectiveMode::Algorithmic;
+    w
+}
+
+#[test]
+fn single_rank_world_collectives_are_noops() {
+    simulate(0, cfg(1), |mpi| async move {
+        mpi.comm().barrier().await;
+        let v = mpi.comm().allreduce(vec![7.0], ReduceOp::Sum).await;
+        assert_eq!(v, vec![7.0]);
+        let b = mpi
+            .comm()
+            .bcast(0, Some(Message::from_values(vec![1.0])))
+            .await;
+        assert_eq!(b.values(), &[1.0]);
+        let g = mpi.comm().allgather(Message::from_values(vec![2.0])).await;
+        assert_eq!(g.len(), 1);
+        let a = mpi.comm().alltoall(vec![Message::from_values(vec![3.0])]).await;
+        assert_eq!(a.len(), 1);
+        assert_eq!(mpi.now().as_ps(), 0, "no wire traffic for p=1");
+    });
+}
+
+#[test]
+fn nested_sub_communicators() {
+    simulate(0, cfg(8), |mpi| async move {
+        let me = mpi.rank();
+        // World -> halves -> quarters; reductions stay isolated at each level.
+        let half: Vec<usize> = if me < 4 { (0..4).collect() } else { (4..8).collect() };
+        let hc = mpi.comm().sub(&half).unwrap();
+        let quarter: Vec<usize> = half[(me % 4 / 2) * 2..(me % 4 / 2) * 2 + 2].to_vec();
+        let qc = hc.sub(&quarter).unwrap();
+        let q = qc.allreduce(vec![me as f64], ReduceOp::Sum).await;
+        let expected: f64 = quarter.iter().map(|&r| r as f64).sum();
+        assert_eq!(q, vec![expected]);
+        let h = hc.allreduce(vec![1.0], ReduceOp::Sum).await;
+        assert_eq!(h, vec![4.0]);
+        let w = mpi.comm().allreduce(vec![1.0], ReduceOp::Sum).await;
+        assert_eq!(w, vec![8.0]);
+    });
+}
+
+#[test]
+fn mixed_eager_and_rendezvous_ordering() {
+    // A small (eager) and a large (rendezvous) message on the same tag
+    // must still arrive in send order.
+    simulate(0, cfg(2), |mpi| async move {
+        if mpi.rank() == 0 {
+            mpi.send(1, 5, Message::from_values(vec![1.0])).await;
+            mpi.send(1, 5, Message::of_bytes(1 << 20)).await;
+            mpi.send(1, 5, Message::from_values(vec![3.0])).await;
+        } else {
+            let (_, _, a) = mpi.recv(Some(0), Some(5)).await;
+            assert_eq!(a.values(), &[1.0]);
+            let (_, _, b) = mpi.recv(Some(0), Some(5)).await;
+            assert_eq!(b.bytes, 1 << 20);
+            let (_, _, c) = mpi.recv(Some(0), Some(5)).await;
+            assert_eq!(c.values(), &[3.0]);
+        }
+    });
+}
+
+#[test]
+fn wildcard_source_storm() {
+    // Many senders, one receiver with full wildcards: every message is
+    // delivered exactly once.
+    let p = 9;
+    let got = Rc::new(RefCell::new(Vec::new()));
+    let g2 = Rc::clone(&got);
+    simulate(0, cfg(p), move |mpi| {
+        let got = Rc::clone(&g2);
+        async move {
+            if mpi.rank() == 0 {
+                for _ in 0..(p - 1) * 3 {
+                    let (src, _, m) = mpi.recv(None, None).await;
+                    got.borrow_mut().push((src, m.values()[0]));
+                }
+            } else {
+                for k in 0..3 {
+                    mpi.send(0, k, Message::from_values(vec![(mpi.rank() * 10 + k as usize) as f64]))
+                        .await;
+                }
+            }
+        }
+    });
+    let got = got.borrow();
+    assert_eq!(got.len(), (p - 1) * 3);
+    // Every (src, value) pair unique and consistent.
+    for &(src, v) in got.iter() {
+        let k = v as usize % 10;
+        assert_eq!(v as usize, src * 10 + k);
+    }
+}
+
+#[test]
+fn self_send_completes() {
+    simulate(0, cfg(4), |mpi| async move {
+        if mpi.rank() == 2 {
+            let send = mpi.isend(2, 9, Message::from_values(vec![5.0]));
+            let (_, _, m) = mpi.recv(Some(2), Some(9)).await;
+            send.await;
+            assert_eq!(m.values(), &[5.0]);
+        }
+    });
+}
+
+#[test]
+fn reduce_to_every_root_gives_same_answer() {
+    let p = 6;
+    for root in 0..p {
+        simulate(0, cfg(p), move |mpi| async move {
+            let out = mpi
+                .comm()
+                .reduce(root, vec![mpi.rank() as f64], ReduceOp::Sum)
+                .await;
+            if mpi.comm().rank() == root {
+                assert_eq!(out.unwrap(), vec![15.0]);
+            } else {
+                assert!(out.is_none());
+            }
+        });
+    }
+}
+
+#[test]
+fn alltoallv_asymmetric_sizes_complete() {
+    // Rank r sends r KiB to everyone; no deadlock, time > 0.
+    let out = simulate(0, cfg(6), |mpi| async move {
+        let sizes: Vec<u64> = (0..mpi.size())
+            .map(|_| (mpi.rank() as u64) * 1024)
+            .collect();
+        mpi.comm().alltoallv_bytes(&sizes).await;
+    });
+    assert!(out.end_time.as_ps() > 0);
+}

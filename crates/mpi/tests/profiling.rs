@@ -1,0 +1,107 @@
+//! Tests for the per-rank activity profiler.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use xtsim_des::SimDuration;
+use xtsim_machine::{fit_dims, presets, ExecMode, WorkPacket};
+use xtsim_mpi::{simulate_profiled, CollectiveMode, Message, ReduceOp, WorldConfig};
+use xtsim_net::{ContentionModel, PlatformConfig};
+
+fn cfg(ranks: usize) -> WorldConfig {
+    let mut spec = presets::xt4();
+    spec.torus_dims = fit_dims(ranks);
+    let mut p = PlatformConfig::new(spec, ExecMode::SN, ranks);
+    p.contention = ContentionModel::Fluid;
+    let mut w = WorldConfig::new(p);
+    w.collectives = CollectiveMode::Algorithmic;
+    w
+}
+
+#[test]
+fn compute_time_is_attributed() {
+    let (_out, profiles) = simulate_profiled(0, cfg(2), |mpi| async move {
+        // 10 ms of flops on rank 0 only.
+        if mpi.rank() == 0 {
+            mpi.compute(WorkPacket::flops_only(5.2e7, 1.0)).await;
+        }
+    });
+    assert!((profiles[0].compute_secs - 0.01).abs() < 1e-5, "{profiles:?}");
+    assert_eq!(profiles[1].compute_secs, 0.0);
+    assert_eq!(profiles[0].p2p_secs, 0.0);
+}
+
+#[test]
+fn p2p_time_and_counts_are_attributed() {
+    let bytes = 1u64 << 20;
+    let (_out, profiles) = simulate_profiled(0, cfg(2), move |mpi| async move {
+        if mpi.rank() == 0 {
+            mpi.send(1, 0, Message::of_bytes(bytes)).await;
+        } else {
+            mpi.recv(Some(0), Some(0)).await;
+        }
+    });
+    assert_eq!(profiles[0].messages_sent, 1);
+    assert_eq!(profiles[0].bytes_sent, bytes);
+    assert!(profiles[0].p2p_secs > 0.0);
+    assert!(profiles[1].p2p_secs > 0.0); // recv wait
+    assert_eq!(profiles[1].messages_sent, 0);
+}
+
+#[test]
+fn collective_time_excludes_internal_p2p() {
+    let (_out, profiles) = simulate_profiled(0, cfg(8), |mpi| async move {
+        mpi.comm().allreduce(vec![1.0; 64], ReduceOp::Sum).await;
+        mpi.comm().barrier().await;
+    });
+    for (r, p) in profiles.iter().enumerate() {
+        assert_eq!(p.collectives, 2, "rank {r}: {p:?}");
+        assert!(p.collective_secs > 0.0, "rank {r}");
+        // The algorithm's internal sends must NOT appear as p2p.
+        assert_eq!(p.p2p_secs, 0.0, "rank {r}: {p:?}");
+        assert_eq!(p.messages_sent, 0, "rank {r}");
+    }
+}
+
+#[test]
+fn late_rank_charges_wait_to_the_collective() {
+    let (_out, profiles) = simulate_profiled(0, cfg(4), |mpi| async move {
+        if mpi.rank() == 3 {
+            mpi.sleep(SimDuration::from_ms(5)).await;
+        }
+        mpi.comm().barrier().await;
+    });
+    // Early ranks waited ~5 ms inside the barrier.
+    for (r, p) in profiles.iter().take(3).enumerate() {
+        assert!(p.collective_secs > 4e-3, "rank {r}: {p:?}");
+    }
+    assert!(profiles[3].collective_secs < 1e-3, "{:?}", profiles[3]);
+}
+
+#[test]
+fn job_profile_aggregates() {
+    use xtsim_mpi::JobProfile;
+    let (_out, profiles) = simulate_profiled(0, cfg(4), |mpi| async move {
+        mpi.compute(WorkPacket::flops_only(5.2e6, 1.0)).await;
+        mpi.comm().barrier().await;
+    });
+    let job = JobProfile::from_ranks(&profiles);
+    assert_eq!(job.total.collectives, 4);
+    assert!(job.total.compute_secs > 3.9e-3);
+    assert!(job.max_mpi_fraction > 0.0 && job.max_mpi_fraction < 1.0);
+}
+
+#[test]
+fn profiles_visible_mid_run_via_mpi_handle() {
+    let seen = Rc::new(RefCell::new(0.0f64));
+    let s2 = Rc::clone(&seen);
+    simulate_profiled(0, cfg(2), move |mpi| {
+        let seen = Rc::clone(&s2);
+        async move {
+            mpi.compute(WorkPacket::flops_only(5.2e6, 1.0)).await;
+            if mpi.rank() == 0 {
+                *seen.borrow_mut() = mpi.profile().compute_secs;
+            }
+        }
+    });
+    assert!(*seen.borrow() > 0.0);
+}

@@ -1,0 +1,167 @@
+//! Property-based tests over the simulated MPI semantics.
+
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use xtsim_machine::{fit_dims, presets, ExecMode};
+use xtsim_mpi::{simulate, CollectiveMode, Message, ReduceOp, WorldConfig};
+use xtsim_net::{ContentionModel, PlatformConfig};
+
+fn cfg(ranks: usize) -> WorldConfig {
+    let mut spec = presets::xt4();
+    spec.torus_dims = fit_dims(ranks);
+    let mut p = PlatformConfig::new(spec, ExecMode::SN, ranks);
+    p.contention = ContentionModel::Counting;
+    let mut w = WorldConfig::new(p);
+    w.collectives = CollectiveMode::Algorithmic;
+    w
+}
+
+fn op_from(idx: u8) -> ReduceOp {
+    match idx % 4 {
+        0 => ReduceOp::Sum,
+        1 => ReduceOp::Max,
+        2 => ReduceOp::Min,
+        _ => ReduceOp::Prod,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Allreduce equals the sequential fold for arbitrary sizes, vector
+    /// lengths, and operators — including non-powers of two.
+    #[test]
+    fn allreduce_equals_sequential_fold(
+        p in 1usize..20,
+        len in 1usize..6,
+        op_idx in 0u8..4,
+        base in -3.0f64..3.0,
+    ) {
+        let op = op_from(op_idx);
+        let results: Rc<RefCell<Vec<Vec<f64>>>> = Rc::new(RefCell::new(Vec::new()));
+        let r2 = Rc::clone(&results);
+        simulate(1, cfg(p), move |mpi| {
+            let results = Rc::clone(&r2);
+            async move {
+                let r = mpi.comm().rank() as f64;
+                let data: Vec<f64> = (0..len).map(|i| base + r * 0.25 + i as f64).collect();
+                let out = mpi.comm().allreduce(data, op).await;
+                results.borrow_mut().push(out);
+            }
+        });
+        let mut expect = vec![op.identity(); len];
+        for r in 0..p {
+            let data: Vec<f64> = (0..len).map(|i| base + r as f64 * 0.25 + i as f64).collect();
+            op.fold(&mut expect, &data);
+        }
+        let results = results.borrow();
+        prop_assert_eq!(results.len(), p);
+        for out in results.iter() {
+            for (a, b) in out.iter().zip(&expect) {
+                // Tree reductions associate differently than the sequential
+                // fold; only relative agreement is guaranteed for f64.
+                let tol = 1e-9 * b.abs().max(1.0);
+                prop_assert!((a - b).abs() <= tol, "{} vs {}", a, b);
+            }
+        }
+    }
+
+    /// Broadcast from an arbitrary root delivers the root's payload to all.
+    #[test]
+    fn bcast_from_any_root(p in 1usize..16, root_seed in any::<usize>(), tagval in -50.0f64..50.0) {
+        let root = root_seed % p;
+        let hits = Rc::new(RefCell::new(0usize));
+        let h2 = Rc::clone(&hits);
+        simulate(2, cfg(p), move |mpi| {
+            let hits = Rc::clone(&h2);
+            async move {
+                let payload = (mpi.comm().rank() == root)
+                    .then(|| Message::from_values(vec![tagval, root as f64]));
+                let got = mpi.comm().bcast(root, payload).await;
+                assert_eq!(got.values(), &[tagval, root as f64]);
+                *hits.borrow_mut() += 1;
+            }
+        });
+        prop_assert_eq!(*hits.borrow(), p);
+    }
+
+    /// Alltoall is the transpose permutation for arbitrary sizes.
+    #[test]
+    fn alltoall_transposes(p in 1usize..10) {
+        let ok = Rc::new(RefCell::new(0usize));
+        let ok2 = Rc::clone(&ok);
+        simulate(3, cfg(p), move |mpi| {
+            let ok = Rc::clone(&ok2);
+            async move {
+                let me = mpi.comm().rank();
+                let msgs: Vec<Message> = (0..p)
+                    .map(|dst| Message::from_values(vec![(me * 1000 + dst) as f64]))
+                    .collect();
+                let got = mpi.comm().alltoall(msgs).await;
+                for (src, m) in got.iter().enumerate() {
+                    assert_eq!(m.values(), &[(src * 1000 + me) as f64]);
+                }
+                *ok.borrow_mut() += 1;
+            }
+        });
+        prop_assert_eq!(*ok.borrow(), p);
+    }
+
+    /// Point-to-point ordering: messages between one (src, dst, tag) pair
+    /// arrive in send order (MPI non-overtaking guarantee).
+    #[test]
+    fn p2p_non_overtaking(count in 1usize..20, bytes in 0u64..200_000) {
+        let ok = Rc::new(RefCell::new(false));
+        let ok2 = Rc::clone(&ok);
+        simulate(4, cfg(2), move |mpi| {
+            let ok = Rc::clone(&ok2);
+            async move {
+                if mpi.rank() == 0 {
+                    for i in 0..count {
+                        mpi.send(1, 7, Message::from_values(vec![i as f64])).await;
+                        if bytes > 0 {
+                            // Interleave untagged traffic to stress matching.
+                            mpi.send(1, 8, Message::of_bytes(bytes)).await;
+                        }
+                    }
+                } else {
+                    for i in 0..count {
+                        let (_, _, m) = mpi.recv(Some(0), Some(7)).await;
+                        assert_eq!(m.values(), &[i as f64]);
+                        if bytes > 0 {
+                            mpi.recv(Some(0), Some(8)).await;
+                        }
+                    }
+                    *ok.borrow_mut() = true;
+                }
+            }
+        });
+        prop_assert!(*ok.borrow());
+    }
+
+    /// Barrier: no rank exits before the last arrival, for arbitrary
+    /// arrival skews.
+    #[test]
+    fn barrier_never_releases_early(skews in prop::collection::vec(0u64..500, 2..12)) {
+        let p = skews.len();
+        let max_skew = *skews.iter().max().unwrap();
+        let ok = Rc::new(RefCell::new(true));
+        let ok2 = Rc::clone(&ok);
+        let skews = Rc::new(skews);
+        simulate(5, cfg(p), move |mpi| {
+            let ok = Rc::clone(&ok2);
+            let skews = Rc::clone(&skews);
+            async move {
+                let us = skews[mpi.rank()];
+                mpi.sleep(xtsim_des::SimDuration::from_us(us)).await;
+                mpi.comm().barrier().await;
+                if mpi.now().as_secs_f64() < max_skew as f64 * 1e-6 {
+                    *ok.borrow_mut() = false;
+                }
+            }
+        });
+        prop_assert!(*ok.borrow());
+    }
+}

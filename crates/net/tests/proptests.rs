@@ -1,0 +1,112 @@
+//! Property-based tests over the torus topology and routing.
+
+use proptest::prelude::*;
+
+use xtsim_net::torus::{Direction, Torus3D};
+use xtsim_net::{ContentionModel, Placement, Platform, PlatformConfig};
+use xtsim_des::Sim;
+use xtsim_machine::{fit_dims, presets, ExecMode};
+
+fn dims() -> impl Strategy<Value = [usize; 3]> {
+    ([1usize..8, 1usize..8, 1usize..8]).prop_map(|d| d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Route length equals the torus Manhattan distance, and the route is a
+    /// valid walk from src to dst.
+    #[test]
+    fn route_length_equals_hops(d in dims(), a in any::<usize>(), b in any::<usize>()) {
+        let t = Torus3D::new(d);
+        let n = t.node_count();
+        let (a, b) = (a % n, b % n);
+        let route = t.route(a, b);
+        prop_assert_eq!(route.len(), t.hops(a, b));
+        // Walk the links.
+        let mut cur = a;
+        for link in &route {
+            prop_assert_eq!(link.from, cur);
+            let c = t.coords(cur);
+            let step = |v: usize, dim: usize, up: bool| {
+                if up { (v + 1) % d[dim] } else { (v + d[dim] - 1) % d[dim] }
+            };
+            cur = match link.direction {
+                Direction::XPlus => t.node_at([step(c[0], 0, true), c[1], c[2]]),
+                Direction::XMinus => t.node_at([step(c[0], 0, false), c[1], c[2]]),
+                Direction::YPlus => t.node_at([c[0], step(c[1], 1, true), c[2]]),
+                Direction::YMinus => t.node_at([c[0], step(c[1], 1, false), c[2]]),
+                Direction::ZPlus => t.node_at([c[0], c[1], step(c[2], 2, true)]),
+                Direction::ZMinus => t.node_at([c[0], c[1], step(c[2], 2, false)]),
+            };
+        }
+        prop_assert_eq!(cur, b);
+    }
+
+    /// Hop distance is a metric: symmetric, zero iff equal, triangle holds.
+    #[test]
+    fn hops_is_a_metric(d in dims(), a in any::<usize>(), b in any::<usize>(), c in any::<usize>()) {
+        let t = Torus3D::new(d);
+        let n = t.node_count();
+        let (a, b, c) = (a % n, b % n, c % n);
+        prop_assert_eq!(t.hops(a, b), t.hops(b, a));
+        prop_assert_eq!(t.hops(a, a), 0);
+        if a != b {
+            prop_assert!(t.hops(a, b) > 0);
+        }
+        prop_assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
+    }
+
+    /// Hop count never exceeds the torus diameter.
+    #[test]
+    fn hops_bounded_by_diameter(d in dims(), a in any::<usize>(), b in any::<usize>()) {
+        let t = Torus3D::new(d);
+        let n = t.node_count();
+        let diameter: usize = d.iter().map(|&k| k / 2).sum();
+        prop_assert!(t.hops(a % n, b % n) <= diameter);
+    }
+
+    /// fit_dims always produces enough capacity with bounded waste.
+    #[test]
+    fn fit_dims_capacity(nodes in 1usize..20_000) {
+        let d = fit_dims(nodes);
+        let vol = d[0] * d[1] * d[2];
+        prop_assert!(vol >= nodes);
+        prop_assert!(vol <= 2 * nodes + 8, "{nodes} -> {:?}", d);
+    }
+
+    /// Message latency is monotone in distance on an idle machine.
+    #[test]
+    fn latency_monotone_in_distance(seedbytes in 0u64..3) {
+        let bytes = [0u64, 8, 1024][seedbytes as usize];
+        let mut spec = presets::xt4();
+        spec.torus_dims = [6, 6, 6];
+        let sim = Sim::new(0);
+        let p = Platform::new(sim.handle(), PlatformConfig {
+            spec,
+            mode: ExecMode::SN,
+            ranks: 216,
+            contention: ContentionModel::Counting,
+            placement: Placement::Block,
+        });
+        // Distances 1, 3, 9 hops along the block-placed ranks.
+        let mut last = 0.0f64;
+        for dst in [1usize, 3, 9] {
+            let p2 = p.clone();
+            let mut sim2 = Sim::new(0);
+            let plat = Platform::new(sim2.handle(), PlatformConfig {
+                spec: p2.spec().clone(),
+                mode: ExecMode::SN,
+                ranks: 216,
+                contention: ContentionModel::Counting,
+                placement: Placement::Block,
+            });
+            let plat2 = plat.clone();
+            sim2.spawn(async move { plat2.transmit(0, dst, bytes).await });
+            let t = sim2.run().as_secs_f64();
+            prop_assert!(t >= last, "dst {}: {} < {}", dst, t, last);
+            last = t;
+        }
+        drop(sim);
+    }
+}

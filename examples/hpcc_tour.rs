@@ -1,0 +1,56 @@
+//! A tour of the HPCC micro-benchmark suite on the simulated XT3/XT4 —
+//! the paper's §5 in one binary, at a reduced scale.
+//!
+//! ```text
+//! cargo run --release --example hpcc_tour
+//! ```
+
+use xt4_repro::xtsim::hpcc::{global, local, netbench};
+use xt4_repro::xtsim::machine::{presets, ExecMode};
+
+fn main() {
+    let systems = [
+        ("XT3   ", presets::xt3_single(), ExecMode::SN),
+        ("XT4-SN", presets::xt4(), ExecMode::SN),
+        ("XT4-VN", presets::xt4(), ExecMode::VN),
+    ];
+
+    println!("== node-local kernels, SP / EP per-core rates (Figures 4-7) ==");
+    for kernel in [
+        local::LocalKernel::Fft,
+        local::LocalKernel::Dgemm,
+        local::LocalKernel::RandomAccess,
+        local::LocalKernel::StreamTriad,
+    ] {
+        println!("{}:", kernel.label());
+        for (name, m, mode) in &systems {
+            let r = local::local_bench(m, *mode, kernel);
+            println!("  {name}  SP {:>8.4}   EP {:>8.4}", r.sp, r.ep);
+        }
+    }
+
+    println!("\n== network latency / bandwidth at 32 sockets (Figures 2-3) ==");
+    for (name, m, mode) in &systems {
+        let r = netbench::network_bench(m, *mode, 32);
+        println!(
+            "  {name}  PP {:>5.2}/{:>5.2}/{:>5.2} us   rings {:>5.2}/{:>5.2} us   PP bw {:>5.2} GB/s",
+            r.pp_min_us, r.pp_avg_us, r.pp_max_us, r.nat_ring_us, r.rand_ring_us, r.pp_min_bw
+        );
+    }
+
+    println!("\n== global benchmarks at 64 sockets (Figures 8-11) ==");
+    for (name, m, mode) in &systems {
+        let hpl = global::hpl(m, *mode, 64);
+        let fft = global::mpi_fft(m, *mode, 64);
+        let ptrans = global::ptrans(m, *mode, 64);
+        let ra = global::mpi_ra(m, *mode, 64);
+        println!(
+            "  {name}  HPL {hpl:>6.3} TF   MPI-FFT {fft:>6.1} GF   PTRANS {ptrans:>6.1} GB/s   MPI-RA {ra:>7.4} GUPS"
+        );
+    }
+    println!("\nthe paper's signatures to look for:");
+    println!("  * FFT/DGEMM: EP ~ SP (temporal locality survives the second core)");
+    println!("  * RA/STREAM: EP per-core = SP/2 (socket-level resources saturate)");
+    println!("  * VN-mode latency above SN; MPI-RA VN below even the XT3");
+    println!("  * PTRANS flat XT3->XT4 (link bandwidth unchanged)");
+}

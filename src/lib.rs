@@ -1,0 +1,13 @@
+//! # xt4-repro — reproduction of "Cray XT4: An Early Evaluation for
+//! Petascale Scientific Simulation" (SC'07)
+//!
+//! This crate is the workspace root: it re-exports the [`xtsim`] facade and
+//! hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`). See README.md for the tour and DESIGN.md
+//! for the substitution strategy (the paper is a hardware measurement
+//! study; this repository rebuilds the platform as a discrete-event
+//! simulation and regenerates every table and figure on it).
+
+#![warn(missing_docs)]
+
+pub use xtsim;

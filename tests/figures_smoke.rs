@@ -1,0 +1,42 @@
+//! Smoke test: every registered figure and ablation regenerates at quick
+//! scale with finite, non-empty output. This is the harness's CI gate.
+
+use xt4_repro::xtsim::ablations::all_ablations;
+use xt4_repro::xtsim::figures::all_figures;
+use xt4_repro::xtsim::report::Scale;
+
+#[test]
+fn every_figure_regenerates_quick() {
+    for fig in all_figures() {
+        let out = (fig.run)(Scale::Quick);
+        assert_eq!(out.id, fig.id);
+        assert!(
+            !out.series.is_empty() || !out.notes.is_empty(),
+            "{} produced nothing",
+            fig.id
+        );
+        for s in &out.series {
+            assert!(!s.points.is_empty(), "{}::{} empty", fig.id, s.name);
+            for &(x, y) in &s.points {
+                assert!(x.is_finite() && y.is_finite(), "{}::{}", fig.id, s.name);
+                assert!(y >= 0.0, "{}::{} negative y {}", fig.id, s.name, y);
+            }
+        }
+        // Render and CSV never panic and carry the id.
+        assert!(out.render().contains(fig.id));
+        let _ = out.to_csv();
+    }
+}
+
+#[test]
+fn every_ablation_regenerates_quick() {
+    for fig in all_ablations() {
+        let out = (fig.run)(Scale::Quick);
+        assert!(!out.series.is_empty(), "{} produced nothing", fig.id);
+        for s in &out.series {
+            for &(_, y) in &s.points {
+                assert!(y.is_finite());
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! End-to-end shape assertions: every headline qualitative claim of the
+//! paper, checked against reduced-scale regenerations of its figures.
+//! These are the repository's acceptance tests.
+
+use xt4_repro::xtsim::apps::{cam, namd, pop, s3d};
+use xt4_repro::xtsim::hpcc::{bidir, global, local, netbench};
+use xt4_repro::xtsim::machine::{presets, ExecMode};
+
+/// §5.1.1 / Figure 2: XT4 SN-mode latency beats XT3; VN mode is worst.
+#[test]
+fn latency_ordering_sn_xt4_best_vn_worst() {
+    let xt3 = netbench::network_bench(&presets::xt3_single(), ExecMode::SN, 16);
+    let sn = netbench::network_bench(&presets::xt4(), ExecMode::SN, 16);
+    let vn = netbench::network_bench(&presets::xt4(), ExecMode::VN, 16);
+    assert!(sn.pp_min_us < xt3.pp_min_us);
+    assert!(vn.pp_min_us > xt3.pp_min_us);
+    // "approaching 18us worst case": VN random ring is far above SN.
+    assert!(vn.rand_ring_us > 1.5 * sn.rand_ring_us);
+}
+
+/// §5.1.1 / Figure 3: ping-pong bandwidth roughly doubles (injection bw).
+#[test]
+fn bandwidth_doubles_xt3_to_xt4() {
+    let xt3 = netbench::network_bench(&presets::xt3_single(), ExecMode::SN, 16);
+    let xt4 = netbench::network_bench(&presets::xt4(), ExecMode::SN, 16);
+    let ratio = xt4.pp_min_bw / xt3.pp_min_bw;
+    assert!(ratio > 1.6 && ratio < 2.1, "ratio {ratio}");
+}
+
+/// §5.1.2 / Figures 4-7: the temporal-locality dichotomy.
+#[test]
+fn temporal_locality_survives_second_core_spatial_does_not() {
+    let m = presets::xt4();
+    for k in [local::LocalKernel::Fft, local::LocalKernel::Dgemm] {
+        let r = local::local_bench(&m, ExecMode::VN, k);
+        assert!(r.ep / r.sp > 0.9, "{k:?} degraded: {r:?}");
+    }
+    for k in [
+        local::LocalKernel::RandomAccess,
+        local::LocalKernel::StreamTriad,
+    ] {
+        let r = local::local_bench(&m, ExecMode::VN, k);
+        assert!((r.ep / r.sp - 0.5).abs() < 0.05, "{k:?}: {r:?}");
+    }
+}
+
+/// §5.1.3 / Figure 8 vs Figure 10: HPL gains from the second core; PTRANS
+/// does not gain from XT3→XT4 (link bandwidth unchanged).
+#[test]
+fn hpl_doubles_per_socket_ptrans_flat() {
+    let sockets = 64;
+    let hpl_sn = global::hpl(&presets::xt4(), ExecMode::SN, sockets);
+    let hpl_vn = global::hpl(&presets::xt4(), ExecMode::VN, sockets);
+    assert!(hpl_vn / hpl_sn > 1.6, "{hpl_vn} vs {hpl_sn}");
+    let pt3 = global::ptrans(&presets::xt3_single(), ExecMode::SN, sockets);
+    let pt4 = global::ptrans(&presets::xt4(), ExecMode::SN, sockets);
+    assert!(
+        (pt4 / pt3) < 1.6,
+        "PTRANS should not scale with injection bw: {pt3} -> {pt4}"
+    );
+}
+
+/// §5.1.3 / Figure 11: "VN mode XT4 is slower both per-core and per-socket
+/// than XT3" for MPI-RandomAccess.
+#[test]
+fn mpi_ra_vn_collapse() {
+    let sockets = 32;
+    let xt3 = global::mpi_ra(&presets::xt3_single(), ExecMode::SN, sockets);
+    let vn = global::mpi_ra(&presets::xt4(), ExecMode::VN, sockets);
+    assert!(vn < xt3, "VN {vn} should fall below XT3 {xt3}");
+}
+
+/// §5.2 / Figures 12-13: the three quantitative claims of the text.
+#[test]
+fn bidirectional_bandwidth_claims() {
+    // "at least 1.8 times that of the dual-core XT3" above 100 KB. The
+    // simulated ratio converges to the 1.8x injection-bandwidth ratio as the
+    // rendezvous handshake amortizes; allow the transition region at 128 KB.
+    for (bytes, floor) in [(131_072u64, 1.55), (1 << 20, 1.7), (4 << 20, 1.75)] {
+        let xt3 = bidir::bidir_point(&presets::xt3_dual(), ExecMode::VN, 1, bytes);
+        let xt4 = bidir::bidir_point(&presets::xt4(), ExecMode::VN, 1, bytes);
+        assert!(
+            xt4.bandwidth_mbs / xt3.bandwidth_mbs >= floor,
+            "{bytes}: {} vs {}",
+            xt4.bandwidth_mbs,
+            xt3.bandwidth_mbs
+        );
+    }
+    // "exactly half the per pair bidirectional bandwidth" for two pairs.
+    let one = bidir::bidir_point(&presets::xt4(), ExecMode::VN, 1, 4 << 20);
+    let two = bidir::bidir_point(&presets::xt4(), ExecMode::VN, 2, 4 << 20);
+    assert!((one.bandwidth_mbs / two.bandwidth_mbs - 2.0).abs() < 0.25);
+    // "latency for the two-pair experiments is over twice the single-pair".
+    let one_small = bidir::bidir_point(&presets::xt4(), ExecMode::VN, 1, 8);
+    let two_small = bidir::bidir_point(&presets::xt4(), ExecMode::VN, 2, 8);
+    assert!(two_small.latency_us > 1.5 * one_small.latency_us);
+}
+
+/// §6.1 / Figure 14: VN mode wins on a per-node basis for CAM ("~30% better
+/// throughput using approximately the same number of compute nodes").
+#[test]
+fn cam_vn_wins_per_node() {
+    let m = presets::xt4();
+    // 120 SN tasks vs 240 VN tasks: same 120 nodes.
+    let sn = cam::cam(&m, ExecMode::SN, 120, 1).unwrap();
+    let vn = cam::cam(&m, ExecMode::VN, 240, 1).unwrap();
+    let gain = vn.years_per_day / sn.years_per_day;
+    assert!(gain > 1.15 && gain < 2.0, "per-node VN gain {gain}");
+}
+
+/// §6.2 / Figures 17-19: POP's solver sensitivity.
+#[test]
+fn pop_cg_variant_and_phase_structure() {
+    let m = presets::xt4();
+    let std = pop::pop(&m, ExecMode::VN, 2048, pop::Solver::StandardCg).unwrap();
+    let cgv = pop::pop(&m, ExecMode::VN, 2048, pop::Solver::ChronopoulosGear).unwrap();
+    // Halving the reductions helps, and specifically in the barotropic phase.
+    assert!(cgv.years_per_day > std.years_per_day);
+    assert!(cgv.barotropic_secs_per_day < std.barotropic_secs_per_day);
+    assert!((cgv.baroclinic_secs_per_day - std.baroclinic_secs_per_day).abs() < 1.0);
+}
+
+/// §6.3 / Figures 20-21: NAMD sees only a small XT4 gain and a small VN
+/// penalty (it is compute-bound).
+#[test]
+fn namd_insensitivity() {
+    let t = 512;
+    let xt3 = namd::namd(&presets::xt3_dual(), ExecMode::VN, t, namd::System::Atoms1M);
+    let xt4 = namd::namd(&presets::xt4(), ExecMode::VN, t, namd::System::Atoms1M);
+    let gain = xt3.secs_per_step / xt4.secs_per_step;
+    assert!(gain > 1.0 && gain < 1.2, "XT4 gain {gain} (paper: ~5%)");
+    let sn = namd::namd(&presets::xt4(), ExecMode::SN, t, namd::System::Atoms1M);
+    let vn = namd::namd(&presets::xt4(), ExecMode::VN, t, namd::System::Atoms1M);
+    let penalty = vn.secs_per_step / sn.secs_per_step;
+    assert!(penalty < 1.35, "VN penalty {penalty} (paper: <=10%ish)");
+}
+
+/// §6.4 / Figure 22: S3D's 30% VN penalty is memory contention, not MPI.
+#[test]
+fn s3d_vn_penalty_is_memory_not_mpi() {
+    let m = presets::xt4();
+    let one_sn = s3d::s3d(&m, ExecMode::SN, 1);
+    let two_sn = s3d::s3d(&m, ExecMode::SN, 2);
+    let two_vn = s3d::s3d(&m, ExecMode::VN, 2);
+    // SN 1 vs 2 tasks: same time (MPI exonerated).
+    assert!((two_sn.secs_per_step / one_sn.secs_per_step) < 1.05);
+    // VN: ~30% slower.
+    let ratio = two_vn.secs_per_step / one_sn.secs_per_step;
+    assert!(ratio > 1.2 && ratio < 1.45, "{ratio}");
+}
+
+/// §7: the summary trend — per-socket gain XT3→XT4 is large for
+/// temporal-locality codes, small for spatial/latency-bound ones.
+#[test]
+fn summary_balance_trend() {
+    // Temporal locality: HPL per socket (VN uses both cores).
+    let hpl3 = global::hpl(&presets::xt3_single(), ExecMode::SN, 32);
+    let hpl4 = global::hpl(&presets::xt4(), ExecMode::VN, 32);
+    let temporal_gain = hpl4 / hpl3;
+    // Low locality: MPI-RA per socket.
+    let ra3 = global::mpi_ra(&presets::xt3_single(), ExecMode::SN, 32);
+    let ra4 = global::mpi_ra(&presets::xt4(), ExecMode::VN, 32);
+    let low_gain = ra4 / ra3;
+    assert!(
+        temporal_gain > 1.8 && low_gain < 1.1,
+        "temporal {temporal_gain} vs low-locality {low_gain}"
+    );
+}

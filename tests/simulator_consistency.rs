@@ -1,0 +1,207 @@
+//! Cross-crate consistency checks on the simulation machinery itself:
+//! modeled vs algorithmic collectives, contention models, determinism, and
+//! calibration invariants that every figure depends on.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use xt4_repro::xtsim::machine::{fit_dims, presets, ExecMode};
+use xt4_repro::xtsim::mpi::{simulate, CollectiveMode, Message, ReduceOp, WorldConfig};
+use xt4_repro::xtsim::net::{ContentionModel, PlatformConfig, Placement};
+
+fn cfg(
+    ranks: usize,
+    mode: ExecMode,
+    coll: CollectiveMode,
+    contention: ContentionModel,
+) -> WorldConfig {
+    let mut spec = presets::xt4();
+    spec.torus_dims = fit_dims(ranks.div_ceil(spec.ranks_per_node(mode)));
+    let mut p = PlatformConfig::new(spec, mode, ranks);
+    p.contention = contention;
+    p.placement = Placement::Block;
+    let mut w = WorldConfig::new(p);
+    w.collectives = coll;
+    w
+}
+
+/// Modeled and algorithmic allreduce must agree to first order — the POP
+/// figures switch between them across the sweep.
+#[test]
+fn modeled_and_algorithmic_allreduce_agree() {
+    let p = 128;
+    let time = |coll| {
+        simulate(
+            9,
+            cfg(p, ExecMode::SN, coll, ContentionModel::Fluid),
+            |mpi| async move {
+                for _ in 0..4 {
+                    mpi.comm().allreduce(vec![1.0], ReduceOp::Sum).await;
+                }
+            },
+        )
+        .end_time
+        .as_secs_f64()
+    };
+    let alg = time(CollectiveMode::Algorithmic);
+    let modeled = time(CollectiveMode::Modeled);
+    let ratio = modeled / alg;
+    assert!(ratio > 0.4 && ratio < 2.5, "alg {alg} vs modeled {modeled}");
+}
+
+/// Counting and fluid contention agree on an uncongested transfer and rank
+/// congested transfers in the same order.
+#[test]
+fn contention_models_agree_qualitatively() {
+    let run = |contention, pairs: usize| {
+        let ranks = 2 * pairs;
+        let bytes = 4u64 << 20;
+        simulate(
+            9,
+            cfg(ranks, ExecMode::SN, CollectiveMode::Algorithmic, contention),
+            move |mpi| async move {
+                let p = mpi.size() / 2;
+                let me = mpi.rank();
+                // Pairs (i, i+p) all transfer simultaneously.
+                if me < p {
+                    mpi.send(me + p, 0, Message::of_bytes(bytes)).await;
+                } else {
+                    mpi.recv(Some(me - p), Some(0)).await;
+                }
+            },
+        )
+        .end_time
+        .as_secs_f64()
+    };
+    for pairs in [1usize, 4] {
+        let fluid = run(ContentionModel::Fluid, pairs);
+        let counting = run(ContentionModel::Counting, pairs);
+        let ratio = counting / fluid;
+        assert!(
+            ratio > 0.5 && ratio < 2.0,
+            "pairs={pairs}: fluid {fluid} counting {counting}"
+        );
+    }
+}
+
+/// The same program produces the identical schedule on repeated runs
+/// (end-to-end determinism across the whole stack).
+#[test]
+fn end_to_end_determinism() {
+    let run = || {
+        simulate(
+            1234,
+            cfg(
+                64,
+                ExecMode::VN,
+                CollectiveMode::Algorithmic,
+                ContentionModel::Fluid,
+            ),
+            |mpi| async move {
+                let r = mpi.rank();
+                let peer = (r + 7) % mpi.size();
+                mpi.sendrecv(peer, 3, Message::of_bytes(100_000), None, Some(3))
+                    .await;
+                mpi.comm().allreduce(vec![r as f64], ReduceOp::Max).await;
+                mpi.comm().barrier().await;
+            },
+        )
+        .end_time
+        .as_ps()
+    };
+    let first = run();
+    for _ in 0..3 {
+        assert_eq!(run(), first);
+    }
+}
+
+/// Collectives preserve data across every mode the figures use.
+#[test]
+fn collective_data_integrity_across_modes() {
+    for coll in [CollectiveMode::Algorithmic, CollectiveMode::Modeled] {
+        let sum = Rc::new(RefCell::new(0.0));
+        let s2 = Rc::clone(&sum);
+        let p = 96;
+        simulate(
+            5,
+            cfg(p, ExecMode::VN, coll, ContentionModel::Counting),
+            move |mpi| {
+                let sum = Rc::clone(&s2);
+                async move {
+                    let out = mpi
+                        .comm()
+                        .allreduce(vec![mpi.rank() as f64, 1.0], ReduceOp::Sum)
+                        .await;
+                    if mpi.rank() == 0 {
+                        *sum.borrow_mut() = out[0] + out[1];
+                    }
+                }
+            },
+        );
+        let expect = (p * (p - 1) / 2) as f64 + p as f64;
+        assert_eq!(*sum.borrow(), expect, "{coll:?}");
+    }
+}
+
+/// Placement affects locality: with block placement, rank i and i+1 in VN
+/// mode share a node, so tiny messages between them are much faster than
+/// between distant ranks.
+#[test]
+fn block_placement_gives_cheap_sibling_messages() {
+    let time_between = |a: usize, b: usize| {
+        simulate(
+            2,
+            cfg(
+                32,
+                ExecMode::VN,
+                CollectiveMode::Algorithmic,
+                ContentionModel::Fluid,
+            ),
+            move |mpi| async move {
+                if mpi.rank() == a {
+                    mpi.send(b, 0, Message::of_bytes(8)).await;
+                } else if mpi.rank() == b {
+                    mpi.recv(Some(a), Some(0)).await;
+                }
+            },
+        )
+        .end_time
+        .as_secs_f64()
+    };
+    let sibling = time_between(0, 1); // same node
+    let remote = time_between(0, 30); // different node
+    assert!(
+        sibling < 0.7 * remote,
+        "sibling {sibling} vs remote {remote}"
+    );
+}
+
+/// The calibration contract: simulated single-rank rates match the paper's
+/// published XT3/XT4 values within tolerance (these are the anchors every
+/// derived figure rests on).
+#[test]
+fn calibration_anchors() {
+    use xt4_repro::xtsim::hpcc::local::{local_bench, LocalKernel};
+    let checks = [
+        (presets::xt3_single(), LocalKernel::StreamTriad, 5.1, 0.2),
+        (presets::xt4(), LocalKernel::StreamTriad, 7.3, 0.2),
+        (presets::xt3_single(), LocalKernel::RandomAccess, 0.014, 0.002),
+        (presets::xt4(), LocalKernel::RandomAccess, 0.019, 0.002),
+        (presets::xt3_single(), LocalKernel::Dgemm, 4.18, 0.2),
+        (presets::xt4(), LocalKernel::Dgemm, 4.52, 0.2),
+        (presets::xt3_single(), LocalKernel::Fft, 0.50, 0.07),
+        (presets::xt4(), LocalKernel::Fft, 0.63, 0.08),
+    ];
+    for (m, k, expect, tol) in checks {
+        let got = local_bench(&m, ExecMode::SN, k).sp;
+        assert!(
+            (got - expect).abs() < tol,
+            "{} {:?}: {} (want {} +/- {})",
+            m.name,
+            k,
+            got,
+            expect,
+            tol
+        );
+    }
+}

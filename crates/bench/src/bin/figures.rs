@@ -1,11 +1,20 @@
 //! Regenerate the paper's tables and figures on the simulated platform.
 //!
 //! ```text
-//! figures [--full] [--quick] [--only ID[,ID...]] [--ablations] [--out DIR]
+//! figures [--full|--quick|--scale quick|full] [--only ID[,ID...]] [--all]
+//!         [--ablations] [--jobs N] [--no-cache] [--cache-dir DIR] [--out DIR]
 //! ```
 //!
 //! Default scale is `--quick` (reduced sweeps, seconds per figure); `--full`
 //! runs the paper's ranges (the large POP/AORSA figures take minutes).
+//!
+//! Figures are decomposed into sweep-point jobs and executed by the parallel
+//! cached engine (`xtsim::sweep`): `--jobs N` runs N worker threads (default:
+//! available parallelism), and results are cached content-addressed under
+//! `results/cache/` (override with `--cache-dir`, disable with `--no-cache`)
+//! so a rerun only recomputes what changed. Output is byte-identical for any
+//! `--jobs` value, warm or cold.
+//!
 //! Results are printed and also written to `DIR` (default `results/`) as
 //! `<id>.csv` and `<id>.json`.
 
@@ -15,12 +24,20 @@ use std::path::PathBuf;
 use xtsim::ablations::all_ablations;
 use xtsim::figures::{all_figures, Figure};
 use xtsim::report::Scale;
+use xtsim::sweep::{run_figure, DiskCache, SweepConfig};
 
 struct Args {
     scale: Scale,
     only: Option<Vec<String>>,
     ablations: bool,
     out: PathBuf,
+    jobs: usize,
+    cache: bool,
+    cache_dir: PathBuf,
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 fn parse_args() -> Args {
@@ -29,21 +46,49 @@ fn parse_args() -> Args {
         only: None,
         ablations: false,
         out: PathBuf::from("results"),
+        jobs: default_jobs(),
+        cache: true,
+        cache_dir: DiskCache::default_dir(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--full" => args.scale = Scale::Full,
             "--quick" => args.scale = Scale::Quick,
+            "--scale" => {
+                args.scale = match it.next().as_deref() {
+                    Some("quick") => Scale::Quick,
+                    Some("full") => Scale::Full,
+                    other => {
+                        eprintln!("--scale needs quick|full, got {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--ablations" => args.ablations = true,
+            // Explicit "everything" flag (the default set is also everything;
+            // this exists so scripts can say what they mean).
+            "--all" => args.only = None,
             "--only" => {
                 let ids = it.next().expect("--only needs an id list");
                 args.only = Some(ids.split(',').map(|s| s.trim().to_string()).collect());
             }
             "--out" => args.out = PathBuf::from(it.next().expect("--out needs a directory")),
+            "--jobs" => {
+                args.jobs = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .expect("--jobs needs a positive integer");
+            }
+            "--no-cache" => args.cache = false,
+            "--cache-dir" => {
+                args.cache_dir = PathBuf::from(it.next().expect("--cache-dir needs a directory"));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--full|--quick] [--only ID[,ID...]] [--ablations] [--out DIR]"
+                    "usage: figures [--full|--quick|--scale quick|full] [--only ID[,ID...]] [--all]\n\
+                     \x20              [--ablations] [--jobs N] [--no-cache] [--cache-dir DIR] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -54,6 +99,20 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+fn make_config(args: &Args) -> SweepConfig {
+    let mut cfg = SweepConfig::threads(args.jobs);
+    if args.cache {
+        match DiskCache::new(&args.cache_dir) {
+            Ok(cache) => cfg = cfg.with_cache(cache),
+            Err(e) => eprintln!(
+                "warning: cannot open cache at {}: {e}; running uncached",
+                args.cache_dir.display()
+            ),
+        }
+    }
+    cfg
 }
 
 fn main() {
@@ -70,20 +129,27 @@ fn main() {
         }
     }
     std::fs::create_dir_all(&args.out).expect("create output directory");
-    let scale_label = match args.scale {
-        Scale::Quick => "quick",
-        Scale::Full => "full",
-    };
     println!(
-        "# Cray XT4 evaluation reproduction — regenerating {} figure(s) at {scale_label} scale\n",
-        figures.len()
+        "# Cray XT4 evaluation reproduction — regenerating {} figure(s) at {} scale ({} worker{}, cache {})\n",
+        figures.len(),
+        args.scale.label(),
+        args.jobs,
+        if args.jobs == 1 { "" } else { "s" },
+        if args.cache { "on" } else { "off" },
     );
+    let mut total_computed = 0usize;
+    let mut total_cached = 0usize;
+    let t_all = std::time::Instant::now();
     for fig in figures {
-        let t0 = std::time::Instant::now();
-        let result = (fig.run)(args.scale);
-        let elapsed = t0.elapsed();
+        let cfg = make_config(&args);
+        let (result, stats) = run_figure(fig.spec(args.scale), &cfg);
         println!("{}", result.render());
-        println!("({}: regenerated in {:.1?})\n", fig.id, elapsed);
+        println!(
+            "({}: {} job(s), {} computed, {} cached, {:.1?})\n",
+            fig.id, stats.total, stats.computed, stats.cached, stats.wall
+        );
+        total_computed += stats.computed;
+        total_cached += stats.cached;
         let csv_path = args.out.join(format!("{}.csv", fig.id));
         std::fs::File::create(&csv_path)
             .and_then(|mut f| f.write_all(result.to_csv().as_bytes()))
@@ -99,5 +165,11 @@ fn main() {
             })
             .expect("write json");
     }
-    println!("results written to {}", args.out.display());
+    println!(
+        "results written to {} ({} job(s) computed, {} from cache, total {:.1?})",
+        args.out.display(),
+        total_computed,
+        total_cached,
+        t_all.elapsed()
+    );
 }

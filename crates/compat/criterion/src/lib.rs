@@ -1,0 +1,198 @@
+//! Offline stand-in for `criterion`: enough API for this workspace's bench
+//! targets (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Throughput`, `BenchmarkId`, the `criterion_group!`/`criterion_main!`
+//! macros). Each benchmark runs a short fixed schedule (1 warmup + up to 16
+//! timed iterations, capped at ~200 ms) and prints mean wall-clock time plus
+//! derived throughput — no statistics engine, no HTML reports.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box.
+pub use std::hint::black_box;
+
+/// Top-level bench context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Mirror of criterion's CLI hook; accepts and ignores arguments.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Display label for a parameterized benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Label from the parameter's `Display` form.
+    pub fn from_parameter(p: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: p.to_string(),
+        }
+    }
+
+    /// Label from a function name and a parameter.
+    pub fn new(name: impl fmt::Display, p: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{name}/{p}"),
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Accepted and ignored (the shim's schedule is fixed).
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Accepted and ignored.
+    pub fn measurement_time(&mut self, _d: Duration) {}
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+    }
+
+    /// Run one benchmark against an input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b, input);
+        self.report(&id.label, &b);
+    }
+
+    /// End the group (prints nothing; provided for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        if b.iters == 0 {
+            println!("{}/{id}: no iterations", self.name);
+            return;
+        }
+        let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:.3e} elem/s", n as f64 / per_iter)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:.3} MB/s", n as f64 / per_iter / 1e6)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{id}: {:.3} ms/iter over {} iters{rate}",
+            self.name,
+            per_iter * 1e3,
+            b.iters
+        );
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `f` on the shim schedule: one warmup, then timed iterations until
+    /// 16 have run or ~200 ms has elapsed.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        while self.iters < 16 && start.elapsed() < budget {
+            let t0 = Instant::now();
+            black_box(f());
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Bundle bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(10));
+        let mut count = 0u64;
+        g.bench_function("counter", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Offline stand-in for `rand`, scoped to what this workspace uses:
+//! [`RngCore`], [`Rng::gen_range`] over half-open ranges, [`SeedableRng`]'s
+//! `seed_from_u64`, and [`seq::SliceRandom::shuffle`]. The concrete generator
+//! lives in the sibling `rand_chacha` shim.
+//!
+//! Not bit-compatible with crates.io `rand` — every consumer in this
+//! repository asserts distributional/qualitative properties, not exact
+//! streams, and the golden figures are regenerated against this shim.
+
+use std::ops::Range;
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Next 32 uniform bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for c in &mut chunks {
+            c.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let b = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&b[..rem.len()]);
+        }
+    }
+}
+
+/// Types that can be sampled uniformly from a `Range` by [`Rng::gen_range`].
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[range.start, range.end)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = range.end.wrapping_sub(range.start) as u64;
+                // Multiply-shift bounded draw; bias is < 2^-32 per draw,
+                // far below what any consumer here can observe.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                range.start.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        let unit = (rng.next_u32() >> 8) as f32 / (1u32 << 24) as f32;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+/// Convenience sampling methods over a bit source.
+pub trait Rng: RngCore {
+    /// Uniform draw from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    /// Bernoulli draw.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators (only the `u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Expand a 64-bit seed into a full generator state.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Slice shuffling and selection.
+pub mod seq {
+    use super::RngCore;
+
+    /// Subset of rand's `SliceRandom`.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+        /// Uniformly chosen element, `None` if empty.
+        fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = ((rng.next_u64() as u128 * (i as u128 + 1)) >> 64) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                let j = ((rng.next_u64() as u128 * self.len() as u128) >> 64) as usize;
+                self.get(j)
+            }
+        }
+    }
+}
+
+/// Prelude mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Lcg(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let f = r.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use seq::SliceRandom;
+        let mut r = Lcg(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice in order");
+    }
+}

@@ -1,0 +1,125 @@
+//! Offline stand-in for `rayon`, scoped to `slice.par_chunks_mut(n)
+//! .enumerate().for_each(f)` — the one pattern this workspace's kernels use.
+//! Work is executed on `std::thread::scope` workers pulling chunks from a
+//! shared atomic index, so disjoint `&mut` chunks are processed genuinely in
+//! parallel.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The import surface `use rayon::prelude::*` provides.
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+/// Parallel mutable-slice operations.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into chunks of `size` (last may be shorter) for parallel use.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunksMut {
+            chunks: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+/// Parallel iterator over mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair each chunk with its index.
+    pub fn enumerate(self) -> ParEnumerate<'a, T> {
+        ParEnumerate {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Apply `f` to every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Send + Sync,
+    {
+        self.enumerate().for_each(move |(_, c)| f(c));
+    }
+}
+
+/// Enumerated parallel chunk iterator.
+pub struct ParEnumerate<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParEnumerate<'a, T> {
+    /// Apply `f` to every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Send + Sync,
+    {
+        let items: Vec<Mutex<Option<(usize, &'a mut [T])>>> = self
+            .chunks
+            .into_iter()
+            .enumerate()
+            .map(|p| Mutex::new(Some(p)))
+            .collect();
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(items.len().max(1));
+        if workers <= 1 {
+            for slot in &items {
+                if let Some(pair) = slot.lock().unwrap().take() {
+                    f(pair);
+                }
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    if let Some(pair) = items[i].lock().unwrap().take() {
+                        f(pair);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_cover_the_slice_once() {
+        let mut v = vec![0u64; 1000];
+        v.par_chunks_mut(64).enumerate().for_each(|(bi, c)| {
+            for (i, e) in c.iter_mut().enumerate() {
+                *e = (bi * 64 + i) as u64;
+            }
+        });
+        for (i, e) in v.iter().enumerate() {
+            assert_eq!(*e, i as u64);
+        }
+    }
+
+    #[test]
+    fn for_each_without_enumerate() {
+        let mut v = vec![1u32; 100];
+        v.par_chunks_mut(7).for_each(|c| {
+            for e in c {
+                *e += 1;
+            }
+        });
+        assert!(v.iter().all(|&e| e == 2));
+    }
+}

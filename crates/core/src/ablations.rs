@@ -1,117 +1,213 @@
 //! Ablation experiments for the design choices DESIGN.md calls out — these
 //! go beyond the paper's figures and probe the model's levers directly.
+//!
+//! Like the main registry, every ablation decomposes into sweep-point jobs
+//! (see [`crate::sweep`]); the tweaked machines hash by content, so e.g. an
+//! eager-threshold variant never collides with the stock preset in the cache.
 
+use serde::Value;
 use xtsim_apps::{cam, s3d};
 use xtsim_hpcc::{bidir, global, local};
 use xtsim_machine::{presets, ExecMode};
 
+use crate::figures::Figure;
 use crate::report::{FigureResult, Scale, Series};
+use crate::sweep::{num, obj, FigureSpec, JobKey};
 
 /// All ablation experiments.
-pub fn all_ablations() -> Vec<crate::figures::Figure> {
+pub fn all_ablations() -> Vec<Figure> {
     vec![
-        crate::figures::Figure {
+        Figure {
             id: "abl-eager",
             title: "Eager/rendezvous threshold sensitivity",
-            run: eager_threshold,
+            build: eager_threshold,
         },
-        crate::figures::Figure {
+        Figure {
             id: "abl-memory",
             title: "Memory technology ladder (DDR-400 → DDR2-667 → DDR2-800)",
-            run: memory_ladder,
+            build: memory_ladder,
         },
-        crate::figures::Figure {
+        Figure {
             id: "abl-quadcore",
             title: "Quad-core projection (the paper's future work)",
-            run: quad_core,
+            build: quad_core,
         },
-        crate::figures::Figure {
+        Figure {
             id: "abl-vnstack",
             title: "VN software-stack maturity (paper's predicted improvement)",
-            run: vn_stack,
+            build: vn_stack,
         },
-        crate::figures::Figure {
+        Figure {
             id: "abl-openmp",
             title: "OpenMP on the XT4 (the paper's anticipated enhancement)",
-            run: openmp_xt4,
+            build: openmp_xt4,
         },
     ]
 }
 
 /// Sweep the NIC eager threshold and watch the mid-size-message latency step
 /// move (Figures 12–13 carry this signature).
-fn eager_threshold(_scale: Scale) -> FigureResult {
-    let mut fig = FigureResult::new("abl-eager", "Eager threshold sweep")
-        .axes("message bytes", "one-way latency (us)");
+fn eager_threshold(scale: Scale) -> FigureSpec {
+    let mut plans: Vec<(String, Vec<(f64, usize)>)> = Vec::new();
+    let mut spec = FigureSpec::new("abl-eager", |_| unreachable!());
     for threshold in [16u64 << 10, 64 << 10, 256 << 10] {
         let mut m = presets::xt4();
         m.nic.eager_threshold_bytes = threshold;
-        let mut s = Series::new(format!("threshold {}KiB", threshold >> 10));
+        let mut pts = Vec::new();
         for bytes in [8u64 << 10, 32 << 10, 128 << 10, 512 << 10] {
-            let p = bidir::bidir_point(&m, ExecMode::SN, 1, bytes);
-            s.push(bytes as f64, p.latency_us);
+            let key = JobKey::new("bidir", Some(&m), Some(ExecMode::SN), scale)
+                .with("pairs", 1usize)
+                .with("bytes", bytes);
+            let m2 = m.clone();
+            let job = spec.push_job(key, move || {
+                let p = bidir::bidir_point(&m2, ExecMode::SN, 1, bytes);
+                obj(vec![
+                    ("bytes", p.bytes.into()),
+                    ("bandwidth_mbs", p.bandwidth_mbs.into()),
+                    ("latency_us", p.latency_us.into()),
+                ])
+            });
+            pts.push((bytes as f64, job));
         }
-        fig = fig.with_series(s);
+        plans.push((format!("threshold {}KiB", threshold >> 10), pts));
     }
-    fig.note("larger thresholds defer the rendezvous handshake cost to larger messages")
+    spec.assemble = Box::new(move |outputs: &[Value]| {
+        let mut fig = FigureResult::new("abl-eager", "Eager threshold sweep")
+            .axes("message bytes", "one-way latency (us)");
+        for (name, pts) in plans {
+            let mut s = Series::new(name);
+            for (x, job) in pts {
+                s.push(x, num(&outputs[job], "latency_us"));
+            }
+            fig = fig.with_series(s);
+        }
+        fig.note("larger thresholds defer the rendezvous handshake cost to larger messages")
+    });
+    spec
 }
 
 /// STREAM and FFT across the DDR generations named in §2.
-fn memory_ladder(_scale: Scale) -> FigureResult {
-    let mut fig = FigureResult::new("abl-memory", "Memory ladder")
-        .axes("machine (1=XT3 DDR-400, 2=XT4 DDR2-667, 3=XT4 DDR2-800)", "value");
+fn memory_ladder(scale: Scale) -> FigureSpec {
+    let mut spec = FigureSpec::new("abl-memory", |_| unreachable!());
     let machines = [presets::xt3_single(), presets::xt4(), presets::xt4_ddr2_800()];
-    let mut triad = Series::new("STREAM triad GB/s (SP)");
-    let mut fft = Series::new("FFT GFLOPS (SP)");
-    for (i, m) in machines.iter().enumerate() {
-        let t = local::local_bench(m, ExecMode::SN, local::LocalKernel::StreamTriad);
-        let f = local::local_bench(m, ExecMode::SN, local::LocalKernel::Fft);
-        triad.push((i + 1) as f64, t.sp);
-        fft.push((i + 1) as f64, f.sp);
+    let mut triad_jobs = Vec::new();
+    let mut fft_jobs = Vec::new();
+    for m in &machines {
+        for (kernel, jobs) in [
+            (local::LocalKernel::StreamTriad, &mut triad_jobs),
+            (local::LocalKernel::Fft, &mut fft_jobs),
+        ] {
+            let key = JobKey::new("local", Some(m), Some(ExecMode::SN), scale)
+                .with("kernel", kernel.label());
+            let m2 = m.clone();
+            jobs.push(spec.push_job(key, move || {
+                let r = local::local_bench(&m2, ExecMode::SN, kernel);
+                obj(vec![("sp", r.sp.into()), ("ep", r.ep.into())])
+            }));
+        }
     }
-    fig.series.push(triad);
-    fig.series.push(fft);
-    fig
+    spec.assemble = Box::new(move |outputs: &[Value]| {
+        let mut fig = FigureResult::new("abl-memory", "Memory ladder")
+            .axes("machine (1=XT3 DDR-400, 2=XT4 DDR2-667, 3=XT4 DDR2-800)", "value");
+        let mut triad = Series::new("STREAM triad GB/s (SP)");
+        let mut fft = Series::new("FFT GFLOPS (SP)");
+        for (i, (&tj, &fj)) in triad_jobs.iter().zip(&fft_jobs).enumerate() {
+            triad.push((i + 1) as f64, num(&outputs[tj], "sp"));
+            fft.push((i + 1) as f64, num(&outputs[fj], "sp"));
+        }
+        fig.series.push(triad);
+        fig.series.push(fft);
+        fig
+    });
+    spec
 }
 
 /// Project the site-upgrade to quad-core sockets: per-core STREAM collapses
 /// further, S3D VN-mode contention worsens — exactly the "multi-core is not
 /// a universal answer" trend of §7.
-fn quad_core(_scale: Scale) -> FigureResult {
-    let mut fig = FigureResult::new("abl-quadcore", "Quad-core projection")
-        .axes("cores per socket", "value");
-    let duo = presets::xt4();
-    let quad = presets::xt4_quad();
-    let mut stream = Series::new("per-core STREAM triad GB/s (EP)");
-    let mut s3d_cost = Series::new("S3D cost us/point (VN)");
-    for m in [&duo, &quad] {
-        let cores = m.processor.cores_per_socket as f64;
-        let t = local::local_bench(m, ExecMode::VN, local::LocalKernel::StreamTriad);
-        stream.push(cores, t.ep);
-        let r = s3d::s3d(m, ExecMode::VN, 64);
-        s3d_cost.push(cores, r.cost_us_per_point);
+fn quad_core(scale: Scale) -> FigureSpec {
+    let mut spec = FigureSpec::new("abl-quadcore", |_| unreachable!());
+    let mut rows = Vec::new(); // (cores_per_socket, stream job, s3d job)
+    for m in [presets::xt4(), presets::xt4_quad()] {
+        let stream_key = JobKey::new("local", Some(&m), Some(ExecMode::VN), scale)
+            .with("kernel", local::LocalKernel::StreamTriad.label());
+        let m2 = m.clone();
+        let stream_job = spec.push_job(stream_key, move || {
+            let r = local::local_bench(&m2, ExecMode::VN, local::LocalKernel::StreamTriad);
+            obj(vec![("sp", r.sp.into()), ("ep", r.ep.into())])
+        });
+        let s3d_key = JobKey::new("s3d", Some(&m), Some(ExecMode::VN), scale).with("cores", 64usize);
+        let m2 = m.clone();
+        let s3d_job = spec.push_job(s3d_key, move || {
+            let r = s3d::s3d(&m2, ExecMode::VN, 64);
+            obj(vec![
+                ("secs_per_step", r.secs_per_step.into()),
+                ("cost_us_per_point", r.cost_us_per_point.into()),
+            ])
+        });
+        rows.push((m.processor.cores_per_socket as f64, stream_job, s3d_job));
     }
-    fig.series.push(stream);
-    fig.series.push(s3d_cost);
-    fig
+    spec.assemble = Box::new(move |outputs: &[Value]| {
+        let mut fig = FigureResult::new("abl-quadcore", "Quad-core projection")
+            .axes("cores per socket", "value");
+        let mut stream = Series::new("per-core STREAM triad GB/s (EP)");
+        let mut s3d_cost = Series::new("S3D cost us/point (VN)");
+        for &(cores, sj, dj) in &rows {
+            stream.push(cores, num(&outputs[sj], "ep"));
+            s3d_cost.push(cores, num(&outputs[dj], "cost_us_per_point"));
+        }
+        fig.series.push(stream);
+        fig.series.push(s3d_cost);
+        fig
+    });
+    spec
 }
 
 /// Sweep the VN NIC-sharing penalty toward zero — the paper repeatedly
 /// expects VN-mode results "to improve as the XT4 software stack matures".
-fn vn_stack(_scale: Scale) -> FigureResult {
-    let mut fig = FigureResult::new("abl-vnstack", "VN software maturity")
-        .axes("vn extra overhead (us)", "MPI-RA GUPS at 64 sockets (VN)");
-    let mut s = Series::new("XT4-VN MPI-RA");
+fn vn_stack(scale: Scale) -> FigureSpec {
+    let mut spec = FigureSpec::new("abl-vnstack", |_| unreachable!());
+    let mut vn_points = Vec::new(); // (extra overhead, job)
     for extra in [4.2f64, 2.8, 1.4, 0.0] {
         let mut m = presets::xt4();
         m.nic.vn_extra_overhead_us = extra;
-        s.push(extra, global::mpi_ra(&m, ExecMode::VN, 64));
+        let key = JobKey::new("global/mpi_ra", Some(&m), Some(ExecMode::VN), scale)
+            .with("sockets", 64usize);
+        let job = spec.push_job(key, move || {
+            let p = global::sweep(&m, ExecMode::VN, &[64], global::mpi_ra).remove(0);
+            obj(vec![
+                ("sockets", p.sockets.into()),
+                ("cores", p.cores.into()),
+                ("value", p.value.into()),
+            ])
+        });
+        vn_points.push((extra, job));
     }
-    let sn = global::mpi_ra(&presets::xt4(), ExecMode::SN, 64);
-    fig.series.push(s);
-    fig.note(format!(
-        "XT4-SN reference: {sn:.4} GUPS — a matured VN stack closes most of the gap"
-    ))
+    let sn_machine = presets::xt4();
+    let sn_key = JobKey::new("global/mpi_ra", Some(&sn_machine), Some(ExecMode::SN), scale)
+        .with("sockets", 64usize);
+    let sn_job = spec.push_job(sn_key, move || {
+        let p = global::sweep(&sn_machine, ExecMode::SN, &[64], global::mpi_ra).remove(0);
+        obj(vec![
+            ("sockets", p.sockets.into()),
+            ("cores", p.cores.into()),
+            ("value", p.value.into()),
+        ])
+    });
+    spec.assemble = Box::new(move |outputs: &[Value]| {
+        let mut fig = FigureResult::new("abl-vnstack", "VN software maturity")
+            .axes("vn extra overhead (us)", "MPI-RA GUPS at 64 sockets (VN)");
+        let mut s = Series::new("XT4-VN MPI-RA");
+        for &(extra, job) in &vn_points {
+            s.push(extra, num(&outputs[job], "value"));
+        }
+        let sn = num(&outputs[sn_job], "value");
+        fig.series.push(s);
+        fig.note(format!(
+            "XT4-SN reference: {sn:.4} GUPS — a matured VN stack closes most of the gap"
+        ))
+    });
+    spec
 }
 
 /// The paper (§6.1): "OpenMP is also expected to provide a performance
@@ -119,34 +215,63 @@ fn vn_stack(_scale: Scale) -> FigureResult {
 /// tasks to be used and by allowing us to restrict MPI communication to a
 /// single core per node." Run CAM with 1 vs 2 threads per task at the same
 /// processor counts.
-fn openmp_xt4(_scale: Scale) -> FigureResult {
-    let mut fig = FigureResult::new("abl-openmp", "CAM with OpenMP on XT4")
-        .axes("processors", "simulated years/day");
+fn openmp_xt4(scale: Scale) -> FigureSpec {
+    let mut spec = FigureSpec::new("abl-openmp", |_| unreachable!());
     let m = presets::xt4();
-    let mut mpi_only = Series::new("VN, MPI-only");
-    let mut hybrid = Series::new("SN + 2 OpenMP threads/task");
+    let mut rows = Vec::new(); // (procs, mpi-only job, hybrid job)
     for procs in [240usize, 480, 960] {
-        if let Some(r) = cam::cam(&m, ExecMode::VN, procs, 1) {
-            mpi_only.push(procs as f64, r.years_per_day);
-        }
+        let key = JobKey::new("cam", Some(&m), Some(ExecMode::VN), scale)
+            .with("tasks", procs)
+            .with("threads", 1usize);
+        let m2 = m.clone();
+        let mpi_job = spec.push_job(key, move || match cam::cam(&m2, ExecMode::VN, procs, 1) {
+            None => Value::Null,
+            Some(r) => obj(vec![("years_per_day", r.years_per_day.into())]),
+        });
         // 2 threads per task: half the MPI tasks, one rank per node (SN),
         // both cores driven by OpenMP.
-        if let Some(r) = cam::cam(&m, ExecMode::SN, procs / 2, 2) {
-            hybrid.push(procs as f64, r.years_per_day);
-        }
+        let key = JobKey::new("cam", Some(&m), Some(ExecMode::SN), scale)
+            .with("tasks", procs / 2)
+            .with("threads", 2usize);
+        let m2 = m.clone();
+        let hybrid_job = spec.push_job(key, move || match cam::cam(&m2, ExecMode::SN, procs / 2, 2) {
+            None => Value::Null,
+            Some(r) => obj(vec![("years_per_day", r.years_per_day.into())]),
+        });
+        rows.push((procs as f64, mpi_job, hybrid_job));
     }
-    fig.series.push(mpi_only);
-    fig.series.push(hybrid);
-    fig.note("hybrid mode halves the MPI task count and keeps the NIC single-owner")
+    spec.assemble = Box::new(move |outputs: &[Value]| {
+        let mut fig = FigureResult::new("abl-openmp", "CAM with OpenMP on XT4")
+            .axes("processors", "simulated years/day");
+        let mut mpi_only = Series::new("VN, MPI-only");
+        let mut hybrid = Series::new("SN + 2 OpenMP threads/task");
+        for &(procs, mj, hj) in &rows {
+            if !matches!(outputs[mj], Value::Null) {
+                mpi_only.push(procs, num(&outputs[mj], "years_per_day"));
+            }
+            if !matches!(outputs[hj], Value::Null) {
+                hybrid.push(procs, num(&outputs[hj], "years_per_day"));
+            }
+        }
+        fig.series.push(mpi_only);
+        fig.series.push(hybrid);
+        fig.note("hybrid mode halves the MPI task count and keeps the NIC single-owner")
+    });
+    spec
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::{run_figure, SweepConfig};
+
+    fn run(spec: FigureSpec) -> FigureResult {
+        run_figure(spec, &SweepConfig::serial()).0
+    }
 
     #[test]
     fn memory_ladder_is_monotone() {
-        let f = memory_ladder(Scale::Quick);
+        let f = run(memory_ladder(Scale::Quick));
         for s in &f.series {
             assert!(s.points[1].1 > s.points[0].1, "{}: {:?}", s.name, s.points);
             assert!(s.points[2].1 > s.points[1].1, "{}: {:?}", s.name, s.points);
@@ -155,7 +280,7 @@ mod tests {
 
     #[test]
     fn quad_core_worsens_contention() {
-        let f = quad_core(Scale::Quick);
+        let f = run(quad_core(Scale::Quick));
         let stream = &f.series[0];
         assert!(stream.points[1].1 < stream.points[0].1, "{stream:?}");
         let s3d_cost = &f.series[1];
@@ -164,7 +289,7 @@ mod tests {
 
     #[test]
     fn vn_stack_maturity_recovers_gups() {
-        let f = vn_stack(Scale::Quick);
+        let f = run(vn_stack(Scale::Quick));
         let pts = &f.series[0].points;
         // Lower penalty -> higher GUPS.
         assert!(pts.last().unwrap().1 > pts.first().unwrap().1, "{pts:?}");

@@ -1,15 +1,22 @@
 //! The figure registry: one generator per table/figure of the paper.
 //!
-//! Every generator reruns the corresponding experiment on the simulated
-//! machines and emits the same rows/series the paper reports. `Scale::Quick`
-//! shrinks the sweeps for CI; `Scale::Full` uses the paper's ranges.
+//! Every generator decomposes its experiment into independent sweep-point
+//! jobs (see [`crate::sweep`]): `build` returns a [`FigureSpec`] whose jobs
+//! each construct their own single-threaded simulation world, and whose
+//! `assemble` step reattaches the outputs to the paper's series **in job
+//! order** — so the rendered figure is identical whether the jobs ran
+//! serially, on eight threads, or straight out of the result cache.
+//! `Scale::Quick` shrinks the sweeps for CI; `Scale::Full` uses the paper's
+//! ranges.
 
+use serde::Value;
 use xtsim_apps::{aorsa, cam, namd, pop, s3d};
 use xtsim_hpcc::{bidir, global, local, netbench};
 use xtsim_lustre::{run_ior, IorConfig, LustreConfig};
 use xtsim_machine::{presets, ExecMode, MachineSpec};
 
 use crate::report::{FigureResult, Scale, Series};
+use crate::sweep::{num, obj, FigureSpec, JobKey};
 
 /// A registered figure generator.
 pub struct Figure {
@@ -17,37 +24,50 @@ pub struct Figure {
     pub id: &'static str,
     /// Caption from the paper.
     pub title: &'static str,
-    /// Generator.
-    pub run: fn(Scale) -> FigureResult,
+    /// Decompose the figure into sweep-point jobs at `scale`.
+    pub build: fn(Scale) -> FigureSpec,
+}
+
+impl Figure {
+    /// Decompose into a job list without running anything.
+    pub fn spec(&self, scale: Scale) -> FigureSpec {
+        (self.build)(scale)
+    }
+
+    /// Regenerate the figure serially with no cache (the behaviour of the
+    /// original harness; tests and doc examples use this).
+    pub fn run(&self, scale: Scale) -> FigureResult {
+        crate::sweep::run_figure(self.spec(scale), &crate::sweep::SweepConfig::serial()).0
+    }
 }
 
 /// All tables and figures, in paper order.
 pub fn all_figures() -> Vec<Figure> {
     vec![
-        Figure { id: "table1", title: "Comparison of XT3, XT3 dual core, and XT4 systems", run: table1 },
-        Figure { id: "fig01", title: "Lustre filesystem architecture (IOR demonstration)", run: fig01 },
-        Figure { id: "fig02", title: "Network latency", run: fig02 },
-        Figure { id: "fig03", title: "Network bandwidth", run: fig03 },
-        Figure { id: "fig04", title: "SP/EP Fast Fourier Transform (FFT)", run: fig04 },
-        Figure { id: "fig05", title: "SP/EP Matrix Multiply (DGEMM)", run: fig05 },
-        Figure { id: "fig06", title: "SP/EP Random Access (RA)", run: fig06 },
-        Figure { id: "fig07", title: "SP/EP Memory Bandwidth (Streams)", run: fig07 },
-        Figure { id: "fig08", title: "Global High Performance LINPACK (HPL)", run: fig08 },
-        Figure { id: "fig09", title: "Global Fast Fourier Transform (MPI-FFT)", run: fig09 },
-        Figure { id: "fig10", title: "Global Matrix Transpose (PTRANS)", run: fig10 },
-        Figure { id: "fig11", title: "Global Random Access (MPI-RA)", run: fig11 },
-        Figure { id: "fig12", title: "Bidirectional MPI bandwidth (small-message emphasis)", run: fig12 },
-        Figure { id: "fig13", title: "Bidirectional MPI bandwidth (large-message emphasis)", run: fig13 },
-        Figure { id: "fig14", title: "CAM throughput on XT4 vs XT3", run: fig14 },
-        Figure { id: "fig15", title: "CAM throughput on XT4 relative to previous results", run: fig15 },
-        Figure { id: "fig16", title: "CAM performance by computational phase", run: fig16 },
-        Figure { id: "fig17", title: "POP throughput on XT4 vs XT3", run: fig17 },
-        Figure { id: "fig18", title: "POP throughput on XT4 relative to previous results", run: fig18 },
-        Figure { id: "fig19", title: "POP performance by computational phase", run: fig19 },
-        Figure { id: "fig20", title: "NAMD performance on XT4 vs XT3", run: fig20 },
-        Figure { id: "fig21", title: "NAMD performance impact of SN vs VN", run: fig21 },
-        Figure { id: "fig22", title: "S3D parallel performance", run: fig22 },
-        Figure { id: "fig23", title: "AORSA parallel performance", run: fig23 },
+        Figure { id: "table1", title: "Comparison of XT3, XT3 dual core, and XT4 systems", build: table1 },
+        Figure { id: "fig01", title: "Lustre filesystem architecture (IOR demonstration)", build: fig01 },
+        Figure { id: "fig02", title: "Network latency", build: fig02 },
+        Figure { id: "fig03", title: "Network bandwidth", build: fig03 },
+        Figure { id: "fig04", title: "SP/EP Fast Fourier Transform (FFT)", build: fig04 },
+        Figure { id: "fig05", title: "SP/EP Matrix Multiply (DGEMM)", build: fig05 },
+        Figure { id: "fig06", title: "SP/EP Random Access (RA)", build: fig06 },
+        Figure { id: "fig07", title: "SP/EP Memory Bandwidth (Streams)", build: fig07 },
+        Figure { id: "fig08", title: "Global High Performance LINPACK (HPL)", build: fig08 },
+        Figure { id: "fig09", title: "Global Fast Fourier Transform (MPI-FFT)", build: fig09 },
+        Figure { id: "fig10", title: "Global Matrix Transpose (PTRANS)", build: fig10 },
+        Figure { id: "fig11", title: "Global Random Access (MPI-RA)", build: fig11 },
+        Figure { id: "fig12", title: "Bidirectional MPI bandwidth (small-message emphasis)", build: fig12 },
+        Figure { id: "fig13", title: "Bidirectional MPI bandwidth (large-message emphasis)", build: fig13 },
+        Figure { id: "fig14", title: "CAM throughput on XT4 vs XT3", build: fig14 },
+        Figure { id: "fig15", title: "CAM throughput on XT4 relative to previous results", build: fig15 },
+        Figure { id: "fig16", title: "CAM performance by computational phase", build: fig16 },
+        Figure { id: "fig17", title: "POP throughput on XT4 vs XT3", build: fig17 },
+        Figure { id: "fig18", title: "POP throughput on XT4 relative to previous results", build: fig18 },
+        Figure { id: "fig19", title: "POP performance by computational phase", build: fig19 },
+        Figure { id: "fig20", title: "NAMD performance on XT4 vs XT3", build: fig20 },
+        Figure { id: "fig21", title: "NAMD performance impact of SN vs VN", build: fig21 },
+        Figure { id: "fig22", title: "S3D parallel performance", build: fig22 },
+        Figure { id: "fig23", title: "AORSA parallel performance", build: fig23 },
     ]
 }
 
@@ -56,42 +76,219 @@ pub fn figure(id: &str) -> Option<Figure> {
     all_figures().into_iter().find(|f| f.id == id)
 }
 
-fn table1(_scale: Scale) -> FigureResult {
-    let xt3 = presets::xt3_single();
-    let xt3d = presets::xt3_dual();
-    let xt4 = presets::xt4();
-    FigureResult::new("table1", "Comparison of XT3, XT3 dual core, and XT4 systems at ORNL")
-        .note(xtsim_machine::table::system_comparison(&[&xt3, &xt3d, &xt4]))
-        .note("\nDerived balance ratios (the quantities §1/§7 reason in):\n")
-        .note(xtsim_machine::balance::balance_table(&[&xt3, &xt3d, &xt4]))
+// ------------------------------------------------------------ plan builder
+
+/// One output series described as `(x, job index, field)` triples: point `k`
+/// is `(x, outputs[job][field])`, skipped when the job returned `Null`
+/// (infeasible configurations, e.g. a CAM decomposition that doesn't exist).
+struct SeriesPlan {
+    name: String,
+    points: Vec<(f64, usize, &'static str)>,
 }
 
-fn fig01(scale: Scale) -> FigureResult {
+/// Declarative figure assembly: jobs plus a plan mapping job outputs to
+/// series points. Covers every figure whose notes don't depend on outputs.
+struct PlanBuilder {
+    id: &'static str,
+    title: String,
+    axes: (String, String),
+    jobs: Vec<crate::sweep::Job>,
+    plan: Vec<SeriesPlan>,
+    notes: Vec<String>,
+}
+
+impl PlanBuilder {
+    fn new(
+        id: &'static str,
+        title: impl Into<String>,
+        x: impl Into<String>,
+        y: impl Into<String>,
+    ) -> PlanBuilder {
+        PlanBuilder {
+            id,
+            title: title.into(),
+            axes: (x.into(), y.into()),
+            jobs: Vec::new(),
+            plan: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    fn job(&mut self, key: JobKey, run: impl Fn() -> Value + Send + Sync + 'static) -> usize {
+        self.jobs.push(crate::sweep::Job::new(key, run));
+        self.jobs.len() - 1
+    }
+
+    fn series(&mut self, name: impl Into<String>) -> usize {
+        self.plan.push(SeriesPlan { name: name.into(), points: Vec::new() });
+        self.plan.len() - 1
+    }
+
+    fn point(&mut self, series: usize, x: f64, job: usize, field: &'static str) {
+        self.plan[series].points.push((x, job, field));
+    }
+
+    fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    fn build(self) -> FigureSpec {
+        let PlanBuilder { id, title, axes, jobs, plan, notes } = self;
+        let mut spec = FigureSpec::new(id, move |outputs: &[Value]| {
+            let mut fig = FigureResult::new(id, title).axes(axes.0, axes.1);
+            for sp in plan {
+                let mut s = Series::new(sp.name);
+                for (x, job, field) in sp.points {
+                    if matches!(outputs[job], Value::Null) {
+                        continue;
+                    }
+                    s.push(x, num(&outputs[job], field));
+                }
+                fig.series.push(s);
+            }
+            fig.notes = notes;
+            fig
+        });
+        spec.jobs = jobs;
+        spec
+    }
+}
+
+// ------------------------------------------------------------- job closures
+
+fn cam_job(m: &MachineSpec, mode: ExecMode, tasks: usize, threads: usize, scale: Scale) -> (JobKey, impl Fn() -> Value + Send + Sync) {
+    let key = JobKey::new("cam", Some(m), Some(mode), scale)
+        .with("tasks", tasks)
+        .with("threads", threads);
+    let m = m.clone();
+    (key, move || match cam::cam(&m, mode, tasks, threads) {
+        None => Value::Null,
+        Some(r) => obj(vec![
+            ("years_per_day", r.years_per_day.into()),
+            ("dynamics_secs_per_day", r.dynamics_secs_per_day.into()),
+            ("physics_secs_per_day", r.physics_secs_per_day.into()),
+            ("mpi_fraction", r.mpi_fraction.into()),
+        ]),
+    })
+}
+
+fn pop_job(m: &MachineSpec, mode: ExecMode, tasks: usize, solver: pop::Solver, scale: Scale) -> (JobKey, impl Fn() -> Value + Send + Sync) {
+    let key = JobKey::new("pop", Some(m), Some(mode), scale)
+        .with("tasks", tasks)
+        .with("solver", format!("{solver:?}"));
+    let m = m.clone();
+    (key, move || match pop::pop(&m, mode, tasks, solver) {
+        None => Value::Null,
+        Some(r) => obj(vec![
+            ("years_per_day", r.years_per_day.into()),
+            ("baroclinic_secs_per_day", r.baroclinic_secs_per_day.into()),
+            ("barotropic_secs_per_day", r.barotropic_secs_per_day.into()),
+        ]),
+    })
+}
+
+fn local_job(m: &MachineSpec, mode: ExecMode, kernel: local::LocalKernel, scale: Scale) -> (JobKey, impl Fn() -> Value + Send + Sync) {
+    let key = JobKey::new("local", Some(m), Some(mode), scale).with("kernel", kernel.label());
+    let m = m.clone();
+    (key, move || {
+        let r = local::local_bench(&m, mode, kernel);
+        obj(vec![("sp", r.sp.into()), ("ep", r.ep.into())])
+    })
+}
+
+fn bidir_job(m: &MachineSpec, mode: ExecMode, pairs: usize, bytes: u64, scale: Scale) -> (JobKey, impl Fn() -> Value + Send + Sync) {
+    let key = JobKey::new("bidir", Some(m), Some(mode), scale)
+        .with("pairs", pairs)
+        .with("bytes", bytes);
+    let m = m.clone();
+    (key, move || {
+        let p = bidir::bidir_point(&m, mode, pairs, bytes);
+        obj(vec![
+            ("bytes", p.bytes.into()),
+            ("bandwidth_mbs", p.bandwidth_mbs.into()),
+            ("latency_us", p.latency_us.into()),
+        ])
+    })
+}
+
+fn global_job(
+    m: &MachineSpec,
+    mode: ExecMode,
+    bench_name: &str,
+    bench: fn(&MachineSpec, ExecMode, usize) -> f64,
+    sockets: usize,
+    scale: Scale,
+) -> (JobKey, impl Fn() -> Value + Send + Sync) {
+    let key = JobKey::new(format!("global/{bench_name}"), Some(m), Some(mode), scale)
+        .with("sockets", sockets);
+    let m = m.clone();
+    (key, move || {
+        let p = global::sweep(&m, mode, &[sockets], bench).remove(0);
+        obj(vec![
+            ("sockets", p.sockets.into()),
+            ("cores", p.cores.into()),
+            ("value", p.value.into()),
+        ])
+    })
+}
+
+// ------------------------------------------------------------------ figures
+
+fn table1(scale: Scale) -> FigureSpec {
+    // Pure spec formatting — nothing to simulate, so no jobs; assembly does
+    // all the work. Still routed through the engine for uniformity.
+    let _ = scale;
+    FigureSpec::new("table1", |_outputs| {
+        let xt3 = presets::xt3_single();
+        let xt3d = presets::xt3_dual();
+        let xt4 = presets::xt4();
+        FigureResult::new("table1", "Comparison of XT3, XT3 dual core, and XT4 systems at ORNL")
+            .note(xtsim_machine::table::system_comparison(&[&xt3, &xt3d, &xt4]))
+            .note("\nDerived balance ratios (the quantities §1/§7 reason in):\n")
+            .note(xtsim_machine::balance::balance_table(&[&xt3, &xt3d, &xt4]))
+    })
+}
+
+fn fig01(scale: Scale) -> FigureSpec {
     let clients = match scale {
         Scale::Quick => 16,
         Scale::Full => 64,
     };
-    let mut fig = FigureResult::new("fig01", "Lustre filesystem architecture — IOR on the model")
-        .axes("stripe count", "aggregate write GB/s");
-    let mut s = Series::new("IOR write");
-    let mut r = Series::new("IOR read");
+    let mut b = PlanBuilder::new(
+        "fig01",
+        "Lustre filesystem architecture — IOR on the model",
+        "stripe count",
+        "aggregate write GB/s",
+    );
+    let w = b.series("IOR write");
+    let r = b.series("IOR read");
     for stripes in [1usize, 2, 4, 8, 16] {
-        let out = run_ior(
-            7,
-            LustreConfig::default(),
-            IorConfig {
-                clients,
-                block_size: 32 << 20,
-                transfer_size: 4 << 20,
-                stripe_count: stripes,
-                file_per_process: true,
-            },
-        );
-        s.push(stripes as f64, out.write_gbs);
-        r.push(stripes as f64, out.read_gbs);
+        let key = JobKey::new("ior", None, None, scale)
+            .with("seed", 7)
+            .with("clients", clients)
+            .with("block_size", 32u64 << 20)
+            .with("transfer_size", 4u64 << 20)
+            .with("stripe_count", stripes)
+            .with("file_per_process", true);
+        let job = b.job(key, move || {
+            let out = run_ior(
+                7,
+                LustreConfig::default(),
+                IorConfig {
+                    clients,
+                    block_size: 32 << 20,
+                    transfer_size: 4 << 20,
+                    stripe_count: stripes,
+                    file_per_process: true,
+                },
+            );
+            obj(vec![("write_gbs", out.write_gbs.into()), ("read_gbs", out.read_gbs.into())])
+        });
+        b.point(w, stripes as f64, job, "write_gbs");
+        b.point(r, stripes as f64, job, "read_gbs");
     }
-    fig = fig.with_series(s).with_series(r);
-    fig.note("One MDS (FIFO), 9 OSS × 4 OST; clients stripe files round-robin (paper Figure 1).")
+    b.note("One MDS (FIFO), 9 OSS × 4 OST; clients stripe files round-robin (paper Figure 1).");
+    b.build()
 }
 
 /// The three system configurations of Figures 2–11.
@@ -110,65 +307,77 @@ fn net_sockets(scale: Scale) -> usize {
     }
 }
 
-fn fig02(scale: Scale) -> FigureResult {
-    let mut fig = FigureResult::new("fig02", "Network latency")
-        .axes("pattern (1=PPmin 2=PPavg 3=PPmax 4=Nat.Ring 5=Rand.Ring)", "latency (us)");
+const NETBENCH_LAT: [&str; 5] = ["pp_min_us", "pp_avg_us", "pp_max_us", "nat_ring_us", "rand_ring_us"];
+const NETBENCH_BW: [&str; 5] = ["pp_min_bw", "pp_avg_bw", "pp_max_bw", "nat_ring_bw", "rand_ring_bw"];
+
+/// Figures 2 and 3 share their jobs (one netbench run per system); only the
+/// extracted fields differ, so with a warm cache the second figure is free.
+fn netbench_fig(id: &'static str, title: &str, y: &str, fields: [&'static str; 5], scale: Scale) -> FigureSpec {
+    let mut b = PlanBuilder::new(
+        id,
+        title,
+        "pattern (1=PPmin 2=PPavg 3=PPmax 4=Nat.Ring 5=Rand.Ring)",
+        y,
+    );
+    let sockets = net_sockets(scale);
     for (name, m, mode) in micro_systems() {
-        let r = netbench::network_bench(&m, mode, net_sockets(scale));
-        let mut s = Series::new(name);
-        for (i, v) in [r.pp_min_us, r.pp_avg_us, r.pp_max_us, r.nat_ring_us, r.rand_ring_us]
-            .into_iter()
-            .enumerate()
-        {
-            s.push((i + 1) as f64, v);
+        let key = JobKey::new("netbench", Some(&m), Some(mode), scale).with("sockets", sockets);
+        let job = b.job(key, move || {
+            let r = netbench::network_bench(&m, mode, sockets);
+            obj(vec![
+                ("pp_min_us", r.pp_min_us.into()),
+                ("pp_avg_us", r.pp_avg_us.into()),
+                ("pp_max_us", r.pp_max_us.into()),
+                ("nat_ring_us", r.nat_ring_us.into()),
+                ("rand_ring_us", r.rand_ring_us.into()),
+                ("pp_min_bw", r.pp_min_bw.into()),
+                ("pp_avg_bw", r.pp_avg_bw.into()),
+                ("pp_max_bw", r.pp_max_bw.into()),
+                ("nat_ring_bw", r.nat_ring_bw.into()),
+                ("rand_ring_bw", r.rand_ring_bw.into()),
+            ])
+        });
+        let s = b.series(name);
+        for (i, field) in fields.into_iter().enumerate() {
+            b.point(s, (i + 1) as f64, job, field);
         }
-        fig = fig.with_series(s);
     }
-    fig
+    b.build()
 }
 
-fn fig03(scale: Scale) -> FigureResult {
-    let mut fig = FigureResult::new("fig03", "Network bandwidth")
-        .axes("pattern (1=PPmin 2=PPavg 3=PPmax 4=Nat.Ring 5=Rand.Ring)", "bandwidth (GB/s)");
-    for (name, m, mode) in micro_systems() {
-        let r = netbench::network_bench(&m, mode, net_sockets(scale));
-        let mut s = Series::new(name);
-        for (i, v) in [r.pp_min_bw, r.pp_avg_bw, r.pp_max_bw, r.nat_ring_bw, r.rand_ring_bw]
-            .into_iter()
-            .enumerate()
-        {
-            s.push((i + 1) as f64, v);
-        }
-        fig = fig.with_series(s);
-    }
-    fig
+fn fig02(scale: Scale) -> FigureSpec {
+    netbench_fig("fig02", "Network latency", "latency (us)", NETBENCH_LAT, scale)
 }
 
-fn local_fig(id: &str, title: &str, kernel: local::LocalKernel) -> FigureResult {
-    let mut fig = FigureResult::new(id, title).axes("system (bar)", kernel.label());
-    let mut sp = Series::new("SP");
-    let mut ep = Series::new("EP");
+fn fig03(scale: Scale) -> FigureSpec {
+    netbench_fig("fig03", "Network bandwidth", "bandwidth (GB/s)", NETBENCH_BW, scale)
+}
+
+fn local_fig(id: &'static str, title: &str, kernel: local::LocalKernel, scale: Scale) -> FigureSpec {
+    let mut b = PlanBuilder::new(id, title, "system (bar)", kernel.label());
+    let sp = b.series("SP");
+    let ep = b.series("EP");
     for (i, (_name, m, mode)) in micro_systems().into_iter().enumerate() {
-        let r = local::local_bench(&m, mode, kernel);
-        sp.push((i + 1) as f64, r.sp);
-        ep.push((i + 1) as f64, r.ep);
+        let (key, run) = local_job(&m, mode, kernel, scale);
+        let job = b.job(key, run);
+        b.point(sp, (i + 1) as f64, job, "sp");
+        b.point(ep, (i + 1) as f64, job, "ep");
     }
-    fig.series.push(sp);
-    fig.series.push(ep);
-    fig.note("bars: 1=XT3, 2=XT4-SN, 3=XT4-VN")
+    b.note("bars: 1=XT3, 2=XT4-SN, 3=XT4-VN");
+    b.build()
 }
 
-fn fig04(_s: Scale) -> FigureResult {
-    local_fig("fig04", "SP/EP Fast Fourier Transform", local::LocalKernel::Fft)
+fn fig04(s: Scale) -> FigureSpec {
+    local_fig("fig04", "SP/EP Fast Fourier Transform", local::LocalKernel::Fft, s)
 }
-fn fig05(_s: Scale) -> FigureResult {
-    local_fig("fig05", "SP/EP Matrix Multiply (DGEMM)", local::LocalKernel::Dgemm)
+fn fig05(s: Scale) -> FigureSpec {
+    local_fig("fig05", "SP/EP Matrix Multiply (DGEMM)", local::LocalKernel::Dgemm, s)
 }
-fn fig06(_s: Scale) -> FigureResult {
-    local_fig("fig06", "SP/EP Random Access", local::LocalKernel::RandomAccess)
+fn fig06(s: Scale) -> FigureSpec {
+    local_fig("fig06", "SP/EP Random Access", local::LocalKernel::RandomAccess, s)
 }
-fn fig07(_s: Scale) -> FigureResult {
-    local_fig("fig07", "SP/EP Memory Bandwidth (Streams)", local::LocalKernel::StreamTriad)
+fn fig07(s: Scale) -> FigureSpec {
+    local_fig("fig07", "SP/EP Memory Bandwidth (Streams)", local::LocalKernel::StreamTriad, s)
 }
 
 fn global_sockets(scale: Scale) -> Vec<usize> {
@@ -179,49 +388,53 @@ fn global_sockets(scale: Scale) -> Vec<usize> {
 }
 
 fn global_fig(
-    id: &str,
+    id: &'static str,
     title: &str,
     y: &str,
     scale: Scale,
+    bench_name: &str,
     bench: fn(&MachineSpec, ExecMode, usize) -> f64,
-) -> FigureResult {
+) -> FigureSpec {
     let sockets = global_sockets(scale);
-    let mut fig = FigureResult::new(id, title).axes("cores/sockets", y);
+    let mut b = PlanBuilder::new(id, title, "cores/sockets", y);
     // Series exactly as in the paper: XT3 and XT4-SN against sockets (= cores),
     // XT4-VN against both cores and sockets.
     let xt3 = presets::xt3_single();
     let xt4 = presets::xt4();
-    let mut s = Series::new("XT3");
-    for p in global::sweep(&xt3, ExecMode::SN, &sockets, bench) {
-        s.push(p.sockets as f64, p.value);
+    for (name, m, mode) in [("XT3", &xt3, ExecMode::SN), ("XT4-SN", &xt4, ExecMode::SN)] {
+        let s = b.series(name);
+        for &n in &sockets {
+            let (key, run) = global_job(m, mode, bench_name, bench, n, scale);
+            let job = b.job(key, run);
+            b.point(s, n as f64, job, "value");
+        }
     }
-    fig = fig.with_series(s);
-    let mut s = Series::new("XT4-SN");
-    for p in global::sweep(&xt4, ExecMode::SN, &sockets, bench) {
-        s.push(p.sockets as f64, p.value);
+    let by_cores = b.series("XT4-VN (cores)");
+    let by_sockets = b.series("XT4-VN (sockets)");
+    for &n in &sockets {
+        let (key, run) = global_job(&xt4, ExecMode::VN, bench_name, bench, n, scale);
+        let job = b.job(key, run);
+        // x = cores for the first series needs the job's own cores output;
+        // GlobalPoint computes cores = ranks, which for a socket-count sweep
+        // in VN mode is sockets × cores/socket — known at build time.
+        let cores = n * xt4.processor.cores_per_socket as usize;
+        b.point(by_cores, cores as f64, job, "value");
+        b.point(by_sockets, n as f64, job, "value");
     }
-    fig = fig.with_series(s);
-    let vn = global::sweep(&xt4, ExecMode::VN, &sockets, bench);
-    let mut by_cores = Series::new("XT4-VN (cores)");
-    let mut by_sockets = Series::new("XT4-VN (sockets)");
-    for p in vn {
-        by_cores.push(p.cores as f64, p.value);
-        by_sockets.push(p.sockets as f64, p.value);
-    }
-    fig.with_series(by_cores).with_series(by_sockets)
+    b.build()
 }
 
-fn fig08(scale: Scale) -> FigureResult {
-    global_fig("fig08", "Global HPL", "TFLOPS", scale, global::hpl)
+fn fig08(scale: Scale) -> FigureSpec {
+    global_fig("fig08", "Global HPL", "TFLOPS", scale, "hpl", global::hpl)
 }
-fn fig09(scale: Scale) -> FigureResult {
-    global_fig("fig09", "Global MPI-FFT", "GFLOPS", scale, global::mpi_fft)
+fn fig09(scale: Scale) -> FigureSpec {
+    global_fig("fig09", "Global MPI-FFT", "GFLOPS", scale, "mpi_fft", global::mpi_fft)
 }
-fn fig10(scale: Scale) -> FigureResult {
-    global_fig("fig10", "Global PTRANS", "GB/s", scale, global::ptrans)
+fn fig10(scale: Scale) -> FigureSpec {
+    global_fig("fig10", "Global PTRANS", "GB/s", scale, "ptrans", global::ptrans)
 }
-fn fig11(scale: Scale) -> FigureResult {
-    global_fig("fig11", "Global MPI-RandomAccess", "GUPS", scale, global::mpi_ra)
+fn fig11(scale: Scale) -> FigureSpec {
+    global_fig("fig11", "Global MPI-RandomAccess", "GUPS", scale, "mpi_ra", global::mpi_ra)
 }
 
 fn bidir_systems() -> Vec<(String, MachineSpec, ExecMode, usize)> {
@@ -242,24 +455,30 @@ fn bidir_systems() -> Vec<(String, MachineSpec, ExecMode, usize)> {
     ]
 }
 
-fn bidir_fig(id: &str, title: &str) -> FigureResult {
-    let mut fig = FigureResult::new(id, title).axes("message bytes", "per-pair bidirectional MB/s");
+/// Figures 12 and 13 are the same sweep replotted, so they share every job.
+fn bidir_fig(id: &'static str, title: &str, scale: Scale) -> FigureSpec {
+    let mut b = PlanBuilder::new(id, title, "message bytes", "per-pair bidirectional MB/s");
     for (name, m, mode, pairs) in bidir_systems() {
-        let mut s = Series::new(name);
-        for p in bidir::bidir_sweep(&m, mode, pairs) {
-            s.push(p.bytes as f64, p.bandwidth_mbs);
+        let s = b.series(name);
+        for bytes in bidir::sweep_sizes() {
+            let (key, run) = bidir_job(&m, mode, pairs, bytes, scale);
+            let job = b.job(key, run);
+            b.point(s, bytes as f64, job, "bandwidth_mbs");
         }
-        fig = fig.with_series(s);
     }
-    fig
+    b.build()
 }
 
-fn fig12(_s: Scale) -> FigureResult {
-    bidir_fig("fig12", "Bidirectional MPI bandwidth (log-log: small messages)")
+fn fig12(s: Scale) -> FigureSpec {
+    bidir_fig("fig12", "Bidirectional MPI bandwidth (log-log: small messages)", s)
 }
-fn fig13(_s: Scale) -> FigureResult {
-    bidir_fig("fig13", "Bidirectional MPI bandwidth (log-linear: large messages)")
-        .note("same data as fig12; the paper replots it with a linear y-axis")
+fn fig13(s: Scale) -> FigureSpec {
+    let mut spec = bidir_fig("fig13", "Bidirectional MPI bandwidth (log-linear: large messages)", s);
+    let inner = std::mem::replace(&mut spec.assemble, Box::new(|_| unreachable!()));
+    spec.assemble = Box::new(move |outputs| {
+        inner(outputs).note("same data as fig12; the paper replots it with a linear y-axis")
+    });
+    spec
 }
 
 fn cam_tasks(scale: Scale) -> Vec<usize> {
@@ -269,9 +488,8 @@ fn cam_tasks(scale: Scale) -> Vec<usize> {
     }
 }
 
-fn fig14(scale: Scale) -> FigureResult {
-    let mut fig = FigureResult::new("fig14", "CAM throughput, XT4 vs XT3")
-        .axes("MPI tasks", "simulated years/day");
+fn fig14(scale: Scale) -> FigureSpec {
+    let mut b = PlanBuilder::new("fig14", "CAM throughput, XT4 vs XT3", "MPI tasks", "simulated years/day");
     let systems: Vec<(&str, MachineSpec, ExecMode)> = vec![
         ("XT3 (single-core)", presets::xt3_single(), ExecMode::SN),
         ("XT3-DC VN", presets::xt3_dual(), ExecMode::VN),
@@ -279,20 +497,23 @@ fn fig14(scale: Scale) -> FigureResult {
         ("XT4 VN", presets::xt4(), ExecMode::VN),
     ];
     for (name, m, mode) in systems {
-        let mut s = Series::new(name);
+        let s = b.series(name);
         for &t in &cam_tasks(scale) {
-            if let Some(r) = cam::cam(&m, mode, t, 1) {
-                s.push(t as f64, r.years_per_day);
-            }
+            let (key, run) = cam_job(&m, mode, t, 1, scale);
+            let job = b.job(key, run);
+            b.point(s, t as f64, job, "years_per_day");
         }
-        fig = fig.with_series(s);
     }
-    fig
+    b.build()
 }
 
-fn fig15(scale: Scale) -> FigureResult {
-    let mut fig = FigureResult::new("fig15", "CAM throughput across platforms")
-        .axes("processors", "simulated years/day");
+fn fig15(scale: Scale) -> FigureSpec {
+    let mut b = PlanBuilder::new(
+        "fig15",
+        "CAM throughput across platforms",
+        "processors",
+        "simulated years/day",
+    );
     let platforms: Vec<(&str, MachineSpec, ExecMode)> = vec![
         ("XT4 SN", presets::xt4(), ExecMode::SN),
         ("XT4 VN", presets::xt4(), ExecMode::VN),
@@ -303,43 +524,50 @@ fn fig15(scale: Scale) -> FigureResult {
         ("IBM SP", presets::ibm_sp(), ExecMode::SN),
     ];
     for (name, m, mode) in platforms {
-        let mut s = Series::new(name);
+        let s = b.series(name);
         for &t in &cam_tasks(scale) {
             if t > m.core_count() {
                 continue;
             }
-            if let Some(r) = cam::cam_best(&m, mode, t) {
-                s.push(t as f64, r.years_per_day);
-            }
+            let key = JobKey::new("cam_best", Some(&m), Some(mode), scale).with("processors", t);
+            let m2 = m.clone();
+            let job = b.job(key, move || match cam::cam_best(&m2, mode, t) {
+                None => Value::Null,
+                Some(r) => obj(vec![("years_per_day", r.years_per_day.into())]),
+            });
+            b.point(s, t as f64, job, "years_per_day");
         }
-        fig = fig.with_series(s);
     }
-    fig.note("each point optimized over OpenMP threads/task where the platform supports it")
+    b.note("each point optimized over OpenMP threads/task where the platform supports it");
+    b.build()
 }
 
-fn fig16(scale: Scale) -> FigureResult {
-    let mut fig = FigureResult::new("fig16", "CAM dynamics vs physics cost")
-        .axes("MPI tasks", "wall seconds per simulated day");
+fn fig16(scale: Scale) -> FigureSpec {
+    let mut b = PlanBuilder::new(
+        "fig16",
+        "CAM dynamics vs physics cost",
+        "MPI tasks",
+        "wall seconds per simulated day",
+    );
     let systems: Vec<(&str, MachineSpec, ExecMode)> = vec![
         ("XT4 SN dynamics", presets::xt4(), ExecMode::SN),
         ("XT4 VN dynamics", presets::xt4(), ExecMode::VN),
         ("p575 dynamics", presets::p575(), ExecMode::SN),
     ];
     for (name, m, mode) in systems {
-        let mut dynamics = Series::new(name);
-        let mut physics = Series::new(name.replace("dynamics", "physics"));
+        let dynamics = b.series(name);
+        let physics = b.series(name.replace("dynamics", "physics"));
         for &t in &cam_tasks(scale) {
             if t > m.core_count() {
                 continue;
             }
-            if let Some(r) = cam::cam(&m, mode, t, 1) {
-                dynamics.push(t as f64, r.dynamics_secs_per_day);
-                physics.push(t as f64, r.physics_secs_per_day);
-            }
+            let (key, run) = cam_job(&m, mode, t, 1, scale);
+            let job = b.job(key, run);
+            b.point(dynamics, t as f64, job, "dynamics_secs_per_day");
+            b.point(physics, t as f64, job, "physics_secs_per_day");
         }
-        fig = fig.with_series(dynamics).with_series(physics);
     }
-    fig
+    b.build()
 }
 
 fn pop_tasks(scale: Scale) -> Vec<usize> {
@@ -349,9 +577,8 @@ fn pop_tasks(scale: Scale) -> Vec<usize> {
     }
 }
 
-fn fig17(scale: Scale) -> FigureResult {
-    let mut fig = FigureResult::new("fig17", "POP throughput, XT4 vs XT3")
-        .axes("MPI tasks", "simulated years/day");
+fn fig17(scale: Scale) -> FigureSpec {
+    let mut b = PlanBuilder::new("fig17", "POP throughput, XT4 vs XT3", "MPI tasks", "simulated years/day");
     let systems: Vec<(&str, MachineSpec, ExecMode)> = vec![
         ("XT3 (single-core)", presets::xt3_single(), ExecMode::SN),
         ("XT3-DC VN", presets::xt3_dual(), ExecMode::VN),
@@ -359,7 +586,7 @@ fn fig17(scale: Scale) -> FigureResult {
         ("XT4 VN", presets::xt4(), ExecMode::VN),
     ];
     for (name, m, mode) in systems {
-        let mut s = Series::new(name);
+        let s = b.series(name);
         for &t in &pop_tasks(scale) {
             // Large runs use the combined XT3+XT4 machine like the paper.
             let machine = if t > 6_000 && name.starts_with("XT4") {
@@ -370,59 +597,65 @@ fn fig17(scale: Scale) -> FigureResult {
             if t > machine.max_ranks(mode) {
                 continue;
             }
-            if let Some(r) = pop::pop(&machine, mode, t, pop::Solver::StandardCg) {
-                s.push(t as f64, r.years_per_day);
-            }
+            let (key, run) = pop_job(&machine, mode, t, pop::Solver::StandardCg, scale);
+            let job = b.job(key, run);
+            b.point(s, t as f64, job, "years_per_day");
         }
-        fig = fig.with_series(s);
     }
-    fig
+    b.build()
 }
 
-fn fig18(scale: Scale) -> FigureResult {
-    let mut fig = FigureResult::new("fig18", "POP throughput across platforms (+ C-G variant)")
-        .axes("MPI tasks", "simulated years/day");
+fn fig18(scale: Scale) -> FigureSpec {
+    let mut b = PlanBuilder::new(
+        "fig18",
+        "POP throughput across platforms (+ C-G variant)",
+        "MPI tasks",
+        "simulated years/day",
+    );
     for (name, solver) in [
         ("XT4 VN", pop::Solver::StandardCg),
         ("XT4 VN (C-G allreduce-halving)", pop::Solver::ChronopoulosGear),
     ] {
-        let mut s = Series::new(name);
+        let s = b.series(name);
         for &t in &pop_tasks(scale) {
             let machine = if t > 6_000 {
                 presets::xt3_xt4_combined()
             } else {
                 presets::xt4()
             };
-            if let Some(r) = pop::pop(&machine, ExecMode::VN, t, solver) {
-                s.push(t as f64, r.years_per_day);
-            }
+            let (key, run) = pop_job(&machine, ExecMode::VN, t, solver, scale);
+            let job = b.job(key, run);
+            b.point(s, t as f64, job, "years_per_day");
         }
-        fig = fig.with_series(s);
     }
-    let mut s = Series::new("Cray X1E");
+    let s = b.series("Cray X1E");
+    let x1e = presets::x1e();
     for &t in &pop_tasks(scale) {
-        let m = presets::x1e();
-        if t > m.max_ranks(ExecMode::SN) {
+        if t > x1e.max_ranks(ExecMode::SN) {
             continue;
         }
-        if let Some(r) = pop::pop(&m, ExecMode::SN, t, pop::Solver::StandardCg) {
-            s.push(t as f64, r.years_per_day);
-        }
+        let (key, run) = pop_job(&x1e, ExecMode::SN, t, pop::Solver::StandardCg, scale);
+        let job = b.job(key, run);
+        b.point(s, t as f64, job, "years_per_day");
     }
-    fig.with_series(s)
+    b.build()
 }
 
-fn fig19(scale: Scale) -> FigureResult {
-    let mut fig = FigureResult::new("fig19", "POP phase cost (baroclinic vs barotropic)")
-        .axes("MPI tasks", "wall seconds per simulated day");
+fn fig19(scale: Scale) -> FigureSpec {
+    let mut b = PlanBuilder::new(
+        "fig19",
+        "POP phase cost (baroclinic vs barotropic)",
+        "MPI tasks",
+        "wall seconds per simulated day",
+    );
     let configs: Vec<(&str, ExecMode, pop::Solver)> = vec![
         ("SN", ExecMode::SN, pop::Solver::StandardCg),
         ("VN", ExecMode::VN, pop::Solver::StandardCg),
         ("VN C-G", ExecMode::VN, pop::Solver::ChronopoulosGear),
     ];
     for (name, mode, solver) in configs {
-        let mut baro = Series::new(format!("baroclinic {name}"));
-        let mut barot = Series::new(format!("barotropic {name}"));
+        let baro = b.series(format!("baroclinic {name}"));
+        let barot = b.series(format!("barotropic {name}"));
         for &t in &pop_tasks(scale) {
             let machine = if t > 6_000 {
                 presets::xt3_xt4_combined()
@@ -432,14 +665,13 @@ fn fig19(scale: Scale) -> FigureResult {
             if t > machine.max_ranks(mode).max(24_000) {
                 continue;
             }
-            if let Some(r) = pop::pop(&machine, mode, t, solver) {
-                baro.push(t as f64, r.baroclinic_secs_per_day);
-                barot.push(t as f64, r.barotropic_secs_per_day);
-            }
+            let (key, run) = pop_job(&machine, mode, t, solver, scale);
+            let job = b.job(key, run);
+            b.point(baro, t as f64, job, "baroclinic_secs_per_day");
+            b.point(barot, t as f64, job, "barotropic_secs_per_day");
         }
-        fig = fig.with_series(baro).with_series(barot);
     }
-    fig
+    b.build()
 }
 
 fn namd_tasks(scale: Scale) -> Vec<usize> {
@@ -449,32 +681,41 @@ fn namd_tasks(scale: Scale) -> Vec<usize> {
     }
 }
 
-fn fig20(scale: Scale) -> FigureResult {
-    let mut fig = FigureResult::new("fig20", "NAMD time/step, XT4 vs XT3")
-        .axes("MPI tasks", "seconds per step");
+fn namd_job(m: &MachineSpec, mode: ExecMode, tasks: usize, sys: namd::System, scale: Scale) -> (JobKey, impl Fn() -> Value + Send + Sync) {
+    let key = JobKey::new("namd", Some(m), Some(mode), scale)
+        .with("tasks", tasks)
+        .with("system", sys.label());
+    let m = m.clone();
+    (key, move || {
+        let r = namd::namd(&m, mode, tasks, sys);
+        obj(vec![("secs_per_step", r.secs_per_step.into()), ("pme_fraction", r.pme_fraction.into())])
+    })
+}
+
+fn fig20(scale: Scale) -> FigureSpec {
+    let mut b = PlanBuilder::new("fig20", "NAMD time/step, XT4 vs XT3", "MPI tasks", "seconds per step");
     for (sys, cap) in [(namd::System::Atoms1M, 8192usize), (namd::System::Atoms3M, 12000)] {
         for (mname, m) in [("XT3", presets::xt3_dual()), ("XT4", presets::xt4())] {
-            let mut s = Series::new(format!("{mname}({})", sys.label()));
+            let s = b.series(format!("{mname}({})", sys.label()));
             for &t in &namd_tasks(scale) {
                 if t > cap {
                     continue;
                 }
-                let r = namd::namd(&m, ExecMode::VN, t, sys);
-                s.push(t as f64, r.secs_per_step);
+                let (key, run) = namd_job(&m, ExecMode::VN, t, sys, scale);
+                let job = b.job(key, run);
+                b.point(s, t as f64, job, "secs_per_step");
             }
-            fig = fig.with_series(s);
         }
     }
-    fig
+    b.build()
 }
 
-fn fig21(scale: Scale) -> FigureResult {
-    let mut fig = FigureResult::new("fig21", "NAMD SN vs VN")
-        .axes("MPI tasks", "seconds per step");
+fn fig21(scale: Scale) -> FigureSpec {
+    let mut b = PlanBuilder::new("fig21", "NAMD SN vs VN", "MPI tasks", "seconds per step");
     let m = presets::xt4();
     for (sys, cap) in [(namd::System::Atoms1M, 8192usize), (namd::System::Atoms3M, 12000)] {
         for mode in [ExecMode::SN, ExecMode::VN] {
-            let mut s = Series::new(format!("{}({})", sys.label(), mode));
+            let s = b.series(format!("{}({})", sys.label(), mode));
             for &t in &namd_tasks(scale) {
                 if t > cap || t > m.max_ranks(mode).max(12_000) {
                     continue;
@@ -483,37 +724,42 @@ fn fig21(scale: Scale) -> FigureResult {
                 if mode == ExecMode::SN && t > 6_400 {
                     continue;
                 }
-                let r = namd::namd(&m, mode, t, sys);
-                s.push(t as f64, r.secs_per_step);
+                let (key, run) = namd_job(&m, mode, t, sys, scale);
+                let job = b.job(key, run);
+                b.point(s, t as f64, job, "secs_per_step");
             }
-            fig = fig.with_series(s);
         }
     }
-    fig
+    b.build()
 }
 
-fn fig22(scale: Scale) -> FigureResult {
+fn fig22(scale: Scale) -> FigureSpec {
     let cores: Vec<usize> = match scale {
         Scale::Quick => vec![1, 8, 64, 512],
         Scale::Full => vec![1, 8, 64, 512, 1728, 4096, 8000, 12000],
     };
-    let mut fig = FigureResult::new("fig22", "S3D weak-scaling cost")
-        .axes("cores", "cost per grid point per step (us)");
+    let mut b = PlanBuilder::new("fig22", "S3D weak-scaling cost", "cores", "cost per grid point per step (us)");
     // Both lines are 2007-era dual-core systems run in VN mode (only the
     // dual-core XT3 had ~10,000 cores).
     for (name, m) in [("XT3", presets::xt3_dual()), ("XT4", presets::xt4())] {
-        let mode = ExecMode::VN;
-        let mut s = Series::new(name);
+        let s = b.series(name);
         for &c in &cores {
-            let r = s3d::s3d(&m, mode, c);
-            s.push(c as f64, r.cost_us_per_point);
+            let key = JobKey::new("s3d", Some(&m), Some(ExecMode::VN), scale).with("cores", c);
+            let m2 = m.clone();
+            let job = b.job(key, move || {
+                let r = s3d::s3d(&m2, ExecMode::VN, c);
+                obj(vec![
+                    ("secs_per_step", r.secs_per_step.into()),
+                    ("cost_us_per_point", r.cost_us_per_point.into()),
+                ])
+            });
+            b.point(s, c as f64, job, "cost_us_per_point");
         }
-        fig = fig.with_series(s);
     }
-    fig
+    b.build()
 }
 
-fn fig23(scale: Scale) -> FigureResult {
+fn fig23(scale: Scale) -> FigureSpec {
     let grid = 300;
     let configs: Vec<(&str, MachineSpec, usize)> = match scale {
         Scale::Quick => vec![
@@ -529,26 +775,46 @@ fn fig23(scale: Scale) -> FigureResult {
             ("22.5k XT3/4", presets::xt3_xt4_combined(), 22500),
         ],
     };
-    let mut axb = Series::new("Ax=b");
-    let mut ql = Series::new("Calc QL operator");
-    let mut total = Series::new("Total");
-    let mut fig = FigureResult::new("fig23", "AORSA grind time").axes("configuration (bar)", "grind time (minutes)");
-    for (i, (name, m, cores)) in configs.iter().enumerate() {
-        let r = aorsa::aorsa(m, ExecMode::VN, *cores, grid);
-        axb.push((i + 1) as f64, r.axb_minutes);
-        ql.push((i + 1) as f64, r.ql_minutes);
-        total.push((i + 1) as f64, r.total_minutes);
-        fig = fig.note(format!(
-            "bar {} = {}   (solver {:.1} TFLOPS)",
-            i + 1,
-            name,
-            r.solver_tflops
-        ));
+    // Notes quote the solver TFLOPS out of each job, so fig23 assembles
+    // by hand rather than through PlanBuilder.
+    let names: Vec<&'static str> = configs.iter().map(|c| c.0).collect();
+    let mut spec = FigureSpec::new("fig23", move |outputs: &[Value]| {
+        let mut axb = Series::new("Ax=b");
+        let mut ql = Series::new("Calc QL operator");
+        let mut total = Series::new("Total");
+        let mut fig = FigureResult::new("fig23", "AORSA grind time")
+            .axes("configuration (bar)", "grind time (minutes)");
+        for (i, (name, out)) in names.iter().zip(outputs).enumerate() {
+            axb.push((i + 1) as f64, num(out, "axb_minutes"));
+            ql.push((i + 1) as f64, num(out, "ql_minutes"));
+            total.push((i + 1) as f64, num(out, "total_minutes"));
+            fig = fig.note(format!(
+                "bar {} = {}   (solver {:.1} TFLOPS)",
+                i + 1,
+                name,
+                num(out, "solver_tflops")
+            ));
+        }
+        fig.series.push(axb);
+        fig.series.push(ql);
+        fig.series.push(total);
+        fig
+    });
+    for (_name, m, cores) in configs {
+        let key = JobKey::new("aorsa", Some(&m), Some(ExecMode::VN), scale)
+            .with("cores", cores)
+            .with("grid", grid);
+        spec.push_job(key, move || {
+            let r = aorsa::aorsa(&m, ExecMode::VN, cores, grid);
+            obj(vec![
+                ("axb_minutes", r.axb_minutes.into()),
+                ("ql_minutes", r.ql_minutes.into()),
+                ("total_minutes", r.total_minutes.into()),
+                ("solver_tflops", r.solver_tflops.into()),
+            ])
+        });
     }
-    fig.series.push(axb);
-    fig.series.push(ql);
-    fig.series.push(total);
-    fig
+    spec
 }
 
 #[cfg(test)]
@@ -572,19 +838,31 @@ mod tests {
 
     #[test]
     fn table1_renders_key_values() {
-        let t = table1(Scale::Quick).render();
+        let t = figure("table1").unwrap().run(Scale::Quick).render();
         assert!(t.contains("SeaStar2"));
         assert!(t.contains("10.6GB/s"));
     }
 
     #[test]
     fn quick_local_figures_have_three_bars() {
-        let f = fig05(Scale::Quick);
+        let f = figure("fig05").unwrap().run(Scale::Quick);
         assert_eq!(f.series.len(), 2); // SP + EP
         assert_eq!(f.series[0].points.len(), 3); // XT3, XT4-SN, XT4-VN
         // DGEMM EP ~ SP on every system.
         for (sp, ep) in f.series[0].points.iter().zip(&f.series[1].points) {
             assert!(ep.1 / sp.1 > 0.85);
+        }
+    }
+
+    #[test]
+    fn shared_sweeps_share_job_keys() {
+        // fig12/fig13 are the same sweep; fig02/fig03 extract different
+        // fields of the same runs. Their job digests must coincide so the
+        // cache dedupes the work.
+        for (a, b) in [("fig12", "fig13"), ("fig02", "fig03")] {
+            let da: Vec<String> = figure(a).unwrap().spec(Scale::Quick).jobs.iter().map(|j| j.key.digest()).collect();
+            let db: Vec<String> = figure(b).unwrap().spec(Scale::Quick).jobs.iter().map(|j| j.key.digest()).collect();
+            assert_eq!(da, db, "{a} vs {b}");
         }
     }
 }

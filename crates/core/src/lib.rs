@@ -9,9 +9,13 @@
 //! use xtsim::report::Scale;
 //!
 //! let fig = figures::figure("table1").unwrap();
-//! let out = (fig.run)(Scale::Quick);
+//! let out = fig.run(Scale::Quick);
 //! assert!(out.render().contains("SeaStar2"));
 //! ```
+//!
+//! Figures decompose into independent sweep-point jobs; [`sweep`] executes
+//! them across worker threads with a content-addressed result cache while
+//! keeping the assembled output byte-identical to a serial run.
 //!
 //! Layer map (each is its own crate, re-exported below):
 //!
@@ -29,6 +33,7 @@
 pub mod ablations;
 pub mod figures;
 pub mod report;
+pub mod sweep;
 
 pub use xtsim_apps as apps;
 pub use xtsim_des as des;

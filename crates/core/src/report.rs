@@ -1,9 +1,9 @@
 //! Result containers and text rendering for the figure harness.
 
-use serde::{Deserialize, Serialize};
+use serde::{impl_serde_struct, impl_serde_unit_enum};
 
 /// A named data series (one line of a figure).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label, matching the paper's figures.
     pub name: String,
@@ -27,7 +27,7 @@ impl Series {
 }
 
 /// One regenerated table or figure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FigureResult {
     /// Identifier, e.g. "fig08" or "table1".
     pub id: String,
@@ -157,6 +157,20 @@ pub enum Scale {
     /// The paper's sweeps (minutes for the largest figures).
     Full,
 }
+
+impl Scale {
+    /// Lower-case label, as used on the `figures` command line.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+}
+
+impl_serde_struct!(Series { name, points });
+impl_serde_struct!(FigureResult { id, title, axes, series, notes });
+impl_serde_unit_enum!(Scale { Quick, Full });
 
 #[cfg(test)]
 mod tests {

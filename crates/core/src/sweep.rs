@@ -1,0 +1,402 @@
+//! Parallel, cached sweep execution for the figure registry.
+//!
+//! Every figure generator is decomposed into independent *sweep-point jobs*
+//! (one simulated experiment each — a netbench run, one HPL point, one CAM
+//! configuration). Jobs carry a content-addressed [`JobKey`]; the engine
+//! executes whatever isn't already cached across a pool of worker threads and
+//! then reassembles the figure **in job order**, so the output is
+//! byte-identical whether it ran on 1 thread or 8, cold or warm.
+//!
+//! Threading model: the DES simulator underneath is single-threaded
+//! (`Rc`/`RefCell` worlds). That is fine — each job *constructs its own
+//! world* inside its closure, so nothing non-`Send` ever crosses a thread
+//! boundary; only plain spec data goes in and a JSON [`Value`] comes out.
+//!
+//! Cache layout: one file per job under the cache directory,
+//! `<32-hex-digest>.json`, holding `{"key": ..., "value": ...}`. The digest
+//! hashes the canonical JSON of the key — engine version, job kind, machine
+//! spec content, execution mode, scale, and all sweep parameters — via two
+//! independent FNV-1a passes ([`xtsim_machine::fingerprint`]). Bump
+//! [`ENGINE_VERSION`] whenever simulator semantics change; every old entry
+//! then misses.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use serde::{impl_serde_struct, Value};
+use xtsim_machine::fingerprint::hex_digest;
+use xtsim_machine::{ExecMode, MachineSpec};
+
+use crate::report::{FigureResult, Scale};
+
+/// Version of the simulation engine folded into every cache key. Bump on any
+/// change that alters simulated numbers so stale cache entries stop hitting.
+pub const ENGINE_VERSION: u32 = 1;
+
+/// Content-addressed identity of one sweep-point job.
+///
+/// Everything that determines the job's output must be in here (the machine
+/// by *content*, not name — a tweaked preset hashes differently) and nothing
+/// else: the figure id is deliberately absent so figures sharing a
+/// computation (fig12/fig13, fig02/fig03) share cache entries too.
+#[derive(Debug, Clone)]
+pub struct JobKey {
+    /// [`ENGINE_VERSION`] at key-construction time.
+    pub engine_version: u32,
+    /// Generator family, e.g. `"netbench"`, `"global/hpl"`, `"cam"`.
+    pub kind: String,
+    /// The simulated machine, when the job targets one.
+    pub machine: Option<MachineSpec>,
+    /// Execution mode, when the job targets a machine.
+    pub mode: Option<ExecMode>,
+    /// Sweep scale the job belongs to.
+    pub scale: Scale,
+    /// Remaining kernel/app parameters, as a JSON object.
+    pub params: Value,
+}
+
+impl_serde_struct!(JobKey { engine_version, kind, machine, mode, scale, params });
+
+impl JobKey {
+    /// Start a key for `kind` on `machine`/`mode` at `scale`.
+    pub fn new(
+        kind: impl Into<String>,
+        machine: Option<&MachineSpec>,
+        mode: Option<ExecMode>,
+        scale: Scale,
+    ) -> JobKey {
+        JobKey {
+            engine_version: ENGINE_VERSION,
+            kind: kind.into(),
+            machine: machine.cloned(),
+            mode,
+            scale,
+            params: Value::Object(Default::default()),
+        }
+    }
+
+    /// Add one sweep parameter (builder style).
+    pub fn with(mut self, name: &str, value: impl Into<Value>) -> JobKey {
+        if let Value::Object(map) = &mut self.params {
+            map.insert(name.to_string(), value.into());
+        }
+        self
+    }
+
+    /// 128-bit hex digest of the canonical JSON encoding of this key.
+    /// Canonical means: object keys sorted, integral floats rendered `x.0` —
+    /// so the digest is independent of field declaration order and stable
+    /// across processes.
+    pub fn digest(&self) -> String {
+        let json = serde_json::to_string(self).expect("JobKey serializes");
+        hex_digest(&json)
+    }
+}
+
+/// One schedulable sweep point: an identity plus the closure that computes
+/// it. The closure builds its own single-threaded simulation world, so it is
+/// safe to run from any worker thread.
+pub struct Job {
+    /// Cache identity.
+    pub key: JobKey,
+    /// The computation; returns the job's JSON-serializable output.
+    pub run: Box<dyn Fn() -> Value + Send + Sync>,
+}
+
+impl Job {
+    /// Package `run` under `key`.
+    pub fn new(key: JobKey, run: impl Fn() -> Value + Send + Sync + 'static) -> Job {
+        Job { key, run: Box::new(run) }
+    }
+}
+
+/// A figure decomposed into jobs plus the (cheap, pure) assembly step that
+/// turns the job outputs — supplied **in job order** — into the final
+/// [`FigureResult`]. Assembly must not simulate anything; all cost lives in
+/// the jobs so it can be parallelized and cached.
+pub struct FigureSpec {
+    /// Figure identifier, e.g. `"fig08"`.
+    pub id: &'static str,
+    /// The sweep points, in deterministic order.
+    pub jobs: Vec<Job>,
+    /// Reassembles outputs (`outputs[i]` is `jobs[i]`'s value) into the figure.
+    pub assemble: Box<dyn FnOnce(&[Value]) -> FigureResult + Send>,
+}
+
+impl FigureSpec {
+    /// New spec with no jobs yet.
+    pub fn new(
+        id: &'static str,
+        assemble: impl FnOnce(&[Value]) -> FigureResult + Send + 'static,
+    ) -> FigureSpec {
+        FigureSpec { id, jobs: Vec::new(), assemble: Box::new(assemble) }
+    }
+
+    /// Append a job, returning its index (for use inside `assemble`).
+    pub fn push_job(
+        &mut self,
+        key: JobKey,
+        run: impl Fn() -> Value + Send + Sync + 'static,
+    ) -> usize {
+        self.jobs.push(Job::new(key, run));
+        self.jobs.len() - 1
+    }
+}
+
+/// On-disk content-addressed job cache (one JSON file per digest).
+pub struct DiskCache {
+    dir: PathBuf,
+}
+
+impl DiskCache {
+    /// Open (creating if needed) a cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<DiskCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(DiskCache { dir })
+    }
+
+    /// The conventional cache location used by the `figures` binary.
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from("results/cache")
+    }
+
+    /// Cache directory path.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, digest: &str) -> PathBuf {
+        self.dir.join(format!("{digest}.json"))
+    }
+
+    /// Load the cached value for `digest`, if present and well-formed.
+    pub fn load(&self, digest: &str) -> Option<Value> {
+        let text = std::fs::read_to_string(self.path_for(digest)).ok()?;
+        let entry: Value = serde_json::from_str(&text).ok()?;
+        entry.as_object()?.get("value").cloned()
+    }
+
+    /// Store `value` (with its `key`, for debuggability) under `digest`.
+    /// Writes to a temp file then renames, so concurrent readers never see a
+    /// torn entry.
+    pub fn store(&self, digest: &str, key: &JobKey, value: &Value) -> std::io::Result<()> {
+        let mut entry = std::collections::BTreeMap::new();
+        entry.insert("key".to_string(), serde_json::to_value(key).expect("key serializes"));
+        entry.insert("value".to_string(), value.clone());
+        let text = serde_json::to_string_pretty(&Value::Object(entry)).expect("entry serializes");
+        let tmp = self.dir.join(format!(".{digest}.tmp"));
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, self.path_for(digest))
+    }
+
+    /// Number of entries on disk.
+    pub fn len(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// True when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Engine configuration for one figure run.
+pub struct SweepConfig {
+    /// Worker threads; `1` executes jobs inline on the calling thread.
+    pub jobs: usize,
+    /// Result cache; `None` recomputes everything.
+    pub cache: Option<DiskCache>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> SweepConfig {
+        SweepConfig { jobs: 1, cache: None }
+    }
+}
+
+impl SweepConfig {
+    /// Serial, uncached — the behaviour of the pre-engine harness.
+    pub fn serial() -> SweepConfig {
+        SweepConfig::default()
+    }
+
+    /// `n` worker threads, no cache.
+    pub fn threads(n: usize) -> SweepConfig {
+        SweepConfig { jobs: n.max(1), cache: None }
+    }
+
+    /// Attach a cache.
+    pub fn with_cache(mut self, cache: DiskCache) -> SweepConfig {
+        self.cache = Some(cache);
+        self
+    }
+}
+
+/// What one figure run did.
+#[derive(Debug, Clone, Copy)]
+pub struct RunStats {
+    /// Total sweep-point jobs in the figure.
+    pub total: usize,
+    /// Jobs actually executed this run.
+    pub computed: usize,
+    /// Jobs answered from the cache.
+    pub cached: usize,
+    /// Wall-clock time for the whole figure (lookup + execute + assemble).
+    pub wall: Duration,
+}
+
+/// Execute a figure spec under `cfg`: cache-lookup every job, run the misses
+/// on the worker pool, persist fresh results, and assemble in job order.
+pub fn run_figure(spec: FigureSpec, cfg: &SweepConfig) -> (FigureResult, RunStats) {
+    let t0 = Instant::now();
+    let n = spec.jobs.len();
+    let digests: Vec<String> = spec.jobs.iter().map(|j| j.key.digest()).collect();
+
+    // Slot per job; cache hits fill immediately, misses queue up.
+    let mut slots: Vec<Option<Value>> = (0..n).map(|_| None).collect();
+    let mut pending: Vec<usize> = Vec::new();
+    for i in 0..n {
+        match cfg.cache.as_ref().and_then(|c| c.load(&digests[i])) {
+            Some(v) => slots[i] = Some(v),
+            None => pending.push(i),
+        }
+    }
+    let cached = n - pending.len();
+
+    // Execute misses: worker threads pull indices off a shared atomic cursor
+    // (cheap work-stealing); results land in per-job mutexed slots and are
+    // read back in job order, so scheduling order never leaks into output.
+    let workers = cfg.jobs.max(1).min(pending.len().max(1));
+    let fresh: Vec<Mutex<Option<Value>>> = pending.iter().map(|_| Mutex::new(None)).collect();
+    if workers <= 1 {
+        for (slot, &i) in fresh.iter().zip(&pending) {
+            *slot.lock().unwrap() = Some((spec.jobs[i].run)());
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let jobs = &spec.jobs;
+        let pending_ref = &pending;
+        let fresh_ref = &fresh;
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= pending_ref.len() {
+                        break;
+                    }
+                    let v = (jobs[pending_ref[k]].run)();
+                    *fresh_ref[k].lock().unwrap() = Some(v);
+                });
+            }
+        });
+    }
+    for (slot, &i) in fresh.iter().zip(&pending) {
+        let v = slot.lock().unwrap().take().expect("worker filled every slot");
+        if let Some(cache) = &cfg.cache {
+            // Cache write failure is not a figure failure; drop the entry.
+            let _ = cache.store(&digests[i], &spec.jobs[i].key, &v);
+        }
+        slots[i] = Some(v);
+    }
+
+    let values: Vec<Value> = slots.into_iter().map(|s| s.expect("all slots filled")).collect();
+    let fig = (spec.assemble)(&values);
+    let stats = RunStats { total: n, computed: pending.len(), cached, wall: t0.elapsed() };
+    (fig, stats)
+}
+
+/// Build a JSON object from `(name, value)` pairs — the conventional shape of
+/// a job output.
+pub fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Read numeric field `name` out of a job-output object (panics on absence —
+/// job outputs are produced by this same binary, so a missing field is a bug,
+/// not bad input).
+pub fn num(v: &Value, name: &str) -> f64 {
+    v.as_object()
+        .and_then(|o| o.get(name))
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| panic!("job output missing numeric field {name:?}: {v:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Series;
+    use xtsim_machine::presets;
+
+    fn tiny_spec(mult: f64) -> FigureSpec {
+        let mut spec = FigureSpec::new("figT", move |outs| {
+            let mut s = Series::new("line");
+            for (i, o) in outs.iter().enumerate() {
+                s.push(i as f64, num(o, "y"));
+            }
+            FigureResult::new("figT", "tiny").with_series(s)
+        });
+        for i in 0..5u32 {
+            let key = JobKey::new("tiny", None, None, Scale::Quick).with("i", i);
+            spec.push_job(key, move || obj(vec![("y", (f64::from(i) * mult).into())]));
+        }
+        spec
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let (serial, s1) = run_figure(tiny_spec(2.0), &SweepConfig::serial());
+        let (par, s8) = run_figure(tiny_spec(2.0), &SweepConfig::threads(8));
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&par).unwrap()
+        );
+        assert_eq!(s1.computed, 5);
+        assert_eq!(s8.computed, 5);
+    }
+
+    #[test]
+    fn digest_ignores_param_insertion_order() {
+        let a = JobKey::new("k", Some(&presets::xt4()), Some(ExecMode::VN), Scale::Quick)
+            .with("alpha", 1)
+            .with("beta", 2.5);
+        let b = JobKey::new("k", Some(&presets::xt4()), Some(ExecMode::VN), Scale::Quick)
+            .with("beta", 2.5)
+            .with("alpha", 1);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn digest_separates_kind_machine_mode_scale_params() {
+        let base = || JobKey::new("k", Some(&presets::xt4()), Some(ExecMode::VN), Scale::Quick).with("p", 1);
+        let d0 = base().digest();
+        assert_ne!(d0, { let mut k = base(); k.kind = "k2".into(); k.digest() });
+        assert_ne!(d0, JobKey::new("k", Some(&presets::xt3_dual()), Some(ExecMode::VN), Scale::Quick).with("p", 1).digest());
+        assert_ne!(d0, JobKey::new("k", Some(&presets::xt4()), Some(ExecMode::SN), Scale::Quick).with("p", 1).digest());
+        assert_ne!(d0, JobKey::new("k", Some(&presets::xt4()), Some(ExecMode::VN), Scale::Full).with("p", 1).digest());
+        assert_ne!(d0, base().with("p", 2).digest());
+        assert_ne!(d0, { let mut k = base(); k.engine_version += 1; k.digest() });
+    }
+
+    #[test]
+    fn cache_roundtrip_and_stats() {
+        let dir = std::env::temp_dir().join(format!("xtsim-sweep-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = SweepConfig::serial().with_cache(DiskCache::new(&dir).unwrap());
+        let (_, cold) = run_figure(tiny_spec(3.0), &cfg);
+        assert_eq!((cold.computed, cold.cached), (5, 0));
+        let cfg = SweepConfig::threads(4).with_cache(DiskCache::new(&dir).unwrap());
+        let (warm_fig, warm) = run_figure(tiny_spec(3.0), &cfg);
+        assert_eq!((warm.computed, warm.cached), (0, 5));
+        assert_eq!(warm_fig.series[0].points[4].1, 12.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,111 @@
+//! Engine-level guarantees: parallel execution is byte-identical to serial
+//! across the whole quick registry, and the disk cache answers reruns without
+//! recomputation (until the engine version moves).
+
+use xtsim::ablations::all_ablations;
+use xtsim::figures::all_figures;
+use xtsim::report::Scale;
+use xtsim::sweep::{run_figure, DiskCache, SweepConfig};
+
+fn tmp_cache_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("xtsim-engine-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The tentpole acceptance gate: every figure and ablation, rebuilt at quick
+/// scale, serializes to the exact same JSON whether its jobs ran on one
+/// thread or eight. Worker scheduling must never leak into output.
+#[test]
+fn parallel_output_is_byte_identical_to_serial() {
+    for fig in all_figures().into_iter().chain(all_ablations()) {
+        let serial = run_figure(fig.spec(Scale::Quick), &SweepConfig::serial()).0;
+        let parallel = run_figure(fig.spec(Scale::Quick), &SweepConfig::threads(8)).0;
+        assert_eq!(
+            serde_json::to_string_pretty(&serial).unwrap(),
+            serde_json::to_string_pretty(&parallel).unwrap(),
+            "{}: parallel output diverged from serial",
+            fig.id
+        );
+    }
+}
+
+/// Second run over a warm cache computes nothing and reproduces the figure
+/// byte-for-byte; fig03 then reuses fig02's netbench runs outright.
+#[test]
+fn warm_cache_skips_recomputation() {
+    let dir = tmp_cache_dir("warm");
+    let fig02 = || xtsim::figures::figure("fig02").unwrap();
+
+    let cfg = SweepConfig::threads(4).with_cache(DiskCache::new(&dir).unwrap());
+    let (cold_fig, cold) = run_figure(fig02().spec(Scale::Quick), &cfg);
+    assert_eq!(cold.cached, 0);
+    assert_eq!(cold.computed, cold.total);
+    assert!(cold.total > 0);
+
+    let cfg = SweepConfig::threads(4).with_cache(DiskCache::new(&dir).unwrap());
+    let (warm_fig, warm) = run_figure(fig02().spec(Scale::Quick), &cfg);
+    assert_eq!(warm.computed, 0, "warm run recomputed jobs");
+    assert_eq!(warm.cached, cold.total);
+    assert_eq!(
+        serde_json::to_string_pretty(&cold_fig).unwrap(),
+        serde_json::to_string_pretty(&warm_fig).unwrap(),
+        "cached rerun changed the figure"
+    );
+
+    // fig03 extracts bandwidth from the same netbench runs fig02 cached.
+    let cfg = SweepConfig::serial().with_cache(DiskCache::new(&dir).unwrap());
+    let (_, shared) = run_figure(xtsim::figures::figure("fig03").unwrap().spec(Scale::Quick), &cfg);
+    assert_eq!(shared.computed, 0, "fig03 should ride fig02's cache entries");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Bumping the engine version changes every digest, so stale entries miss.
+#[test]
+fn engine_version_bump_invalidates_cache() {
+    let dir = tmp_cache_dir("version");
+    let fig05 = || xtsim::figures::figure("fig05").unwrap();
+
+    let cfg = SweepConfig::serial().with_cache(DiskCache::new(&dir).unwrap());
+    let (_, cold) = run_figure(fig05().spec(Scale::Quick), &cfg);
+    assert_eq!(cold.computed, cold.total);
+
+    // Same engine version: full hit.
+    let cfg = SweepConfig::serial().with_cache(DiskCache::new(&dir).unwrap());
+    let (_, warm) = run_figure(fig05().spec(Scale::Quick), &cfg);
+    assert_eq!(warm.computed, 0);
+
+    // Simulate an engine-semantics change by bumping the version on every
+    // job key: nothing may hit.
+    let mut spec = fig05().spec(Scale::Quick);
+    for job in &mut spec.jobs {
+        job.key.engine_version += 1;
+    }
+    let cfg = SweepConfig::serial().with_cache(DiskCache::new(&dir).unwrap());
+    let (_, bumped) = run_figure(spec, &cfg);
+    assert_eq!(bumped.cached, 0, "stale engine version hit the cache");
+    assert_eq!(bumped.computed, bumped.total);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corrupt cache entries are treated as misses, not errors.
+#[test]
+fn corrupt_cache_entries_are_recomputed() {
+    let dir = tmp_cache_dir("corrupt");
+    let fig05 = || xtsim::figures::figure("fig05").unwrap();
+    let cfg = SweepConfig::serial().with_cache(DiskCache::new(&dir).unwrap());
+    let (_, cold) = run_figure(fig05().spec(Scale::Quick), &cfg);
+    assert_eq!(cold.computed, cold.total);
+
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        std::fs::write(entry.unwrap().path(), "{ not json").unwrap();
+    }
+    let cfg = SweepConfig::serial().with_cache(DiskCache::new(&dir).unwrap());
+    let (fig, stats) = run_figure(fig05().spec(Scale::Quick), &cfg);
+    assert_eq!(stats.computed, stats.total, "corrupt entries must miss");
+    assert!(!fig.series.is_empty());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod balance;
+pub mod fingerprint;
 pub mod presets;
 mod roofline;
 mod spec;

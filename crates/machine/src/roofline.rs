@@ -17,12 +17,12 @@
 //! estimates and unit tests); the node model in `xtsim-net` executes the same
 //! packet against fluid resources so that EP/VN-mode contention emerges.
 
-use serde::{Deserialize, Serialize};
+use serde::impl_serde_struct;
 
 use crate::spec::MachineSpec;
 
 /// One core's slice of computation, priced by the balance model.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct WorkPacket {
     /// Retired double-precision flops.
     pub flops: f64,
@@ -109,6 +109,8 @@ impl WorkPacket {
         }
     }
 }
+
+impl_serde_struct!(WorkPacket { flops, flop_efficiency, serial_dram_bytes, shared_dram_bytes, random_refs });
 
 #[cfg(test)]
 mod tests {

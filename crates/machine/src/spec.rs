@@ -6,10 +6,10 @@
 //! (single-node vs virtual-node). All bandwidths are in **GB/s = 1e9
 //! bytes/s**, latencies in the stated unit.
 
-use serde::{Deserialize, Serialize};
+use serde::{impl_serde_struct, impl_serde_unit_enum};
 
 /// Processor (socket) parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProcessorSpec {
     /// Marketing name, e.g. "2.6GHz dual-core Opteron".
     pub name: String,
@@ -38,7 +38,7 @@ impl ProcessorSpec {
 
 /// Memory subsystem parameters (per socket — the Opteron's integrated
 /// controller is the unit of sharing between cores).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemorySpec {
     /// Technology label, e.g. "DDR2-667".
     pub technology: String,
@@ -60,7 +60,7 @@ pub struct MemorySpec {
 }
 
 /// Network interface + router parameters (SeaStar-style).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NicSpec {
     /// Interconnect name, e.g. "Cray SeaStar2".
     pub name: String,
@@ -86,7 +86,7 @@ pub struct NicSpec {
 /// How application-level sustained performance relates to peak — used only by
 /// the cross-platform comparison figures (15 and 18), where machines we do
 /// not model in detail (vector and fat-SMP systems) appear.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppPerfSpec {
     /// Fraction of peak a tuned scalar science code sustains.
     pub sustained_fraction: f64,
@@ -99,7 +99,7 @@ pub struct AppPerfSpec {
 /// Vector-pipeline behaviour: efficiency collapses once the vector length a
 /// decomposition produces falls below `min_efficient_length` (the paper notes
 /// this at 960 tasks for CAM on the X1E and Earth Simulator).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VectorSpec {
     /// Vector length below which efficiency degrades.
     pub min_efficient_length: f64,
@@ -108,7 +108,7 @@ pub struct VectorSpec {
 }
 
 /// Execution mode of a dual-core XT node (paper §2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExecMode {
     /// Single/serial-node mode: one rank per socket, full memory bandwidth
     /// and exclusive NIC access.
@@ -135,7 +135,7 @@ impl std::fmt::Display for ExecMode {
 }
 
 /// A complete machine description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineSpec {
     /// Machine name as used in the paper's legends (e.g. "XT4").
     pub name: String,
@@ -213,6 +213,35 @@ impl MachineSpec {
         problems
     }
 }
+
+// JSON forms (field-keyed objects / variant-name strings) for specs: these
+// feed the spec fingerprints the sweep-engine cache keys are built from, so
+// every parameter field must be listed here.
+impl_serde_struct!(ProcessorSpec { name, clock_ghz, flops_per_cycle, cores_per_socket, dgemm_efficiency });
+impl_serde_struct!(MemorySpec {
+    technology,
+    peak_bw_gbs,
+    stream_bw_socket_gbs,
+    single_stream_bw_gbs,
+    latency_ns,
+    random_gups_socket,
+    capacity_gb_per_core,
+});
+impl_serde_struct!(NicSpec {
+    name,
+    injection_bw_gbs,
+    link_bw_gbs,
+    sw_overhead_us,
+    vn_extra_overhead_us,
+    per_hop_ns,
+    memcpy_bw_gbs,
+    eager_threshold_bytes,
+    rendezvous_latency_us,
+});
+impl_serde_struct!(AppPerfSpec { sustained_fraction, vector, smp_threads_per_task });
+impl_serde_struct!(VectorSpec { min_efficient_length, short_vector_fraction });
+impl_serde_unit_enum!(ExecMode { SN, VN });
+impl_serde_struct!(MachineSpec { name, processor, memory, nic, torus_dims, app });
 
 #[cfg(test)]
 mod tests {

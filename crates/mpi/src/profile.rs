@@ -10,10 +10,10 @@
 //! Categories are exclusive: point-to-point traffic issued *inside* a
 //! collective algorithm accrues to the collective, not to p2p.
 
-use serde::{Deserialize, Serialize};
+use serde::impl_serde_struct;
 
 /// Accumulated per-rank activity.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct RankProfile {
     /// Simulated seconds inside `compute` packets.
     pub compute_secs: f64,
@@ -58,7 +58,7 @@ impl RankProfile {
 }
 
 /// Job-level profile summary.
-#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy)]
 pub struct JobProfile {
     /// Sum over ranks.
     pub total: RankProfile,
@@ -81,6 +81,9 @@ impl JobProfile {
         }
     }
 }
+
+impl_serde_struct!(RankProfile { compute_secs, p2p_secs, collective_secs, messages_sent, bytes_sent, collectives });
+impl_serde_struct!(JobProfile { total, max_mpi_fraction });
 
 #[cfg(test)]
 mod tests {

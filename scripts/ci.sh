@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI gate: build, full test suite (includes the golden-figure regression
+# harness, the sweep-engine determinism/cache tests, and the cache-key
+# property tests), then a cache-disabled quick-scale smoke run of the
+# figures binary itself.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --workspace --release
+
+echo "== tests =="
+# Root-package tests carry the golden gate; --workspace adds every crate's
+# unit/integration tests (sweep engine, cache keys, simulator layers).
+cargo test --workspace -q
+
+echo "== figures smoke (quick scale, cache off) =="
+out="$(mktemp -d)"
+cargo run --release -p xtsim-bench --bin figures -- \
+    --all --quick --no-cache --jobs 4 --out "$out" >/dev/null
+for id in table1 fig01 fig12 fig23; do
+    test -s "$out/$id.json" || { echo "missing $id.json"; exit 1; }
+done
+rm -rf "$out"
+
+echo "CI gate passed."

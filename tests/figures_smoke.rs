@@ -8,7 +8,7 @@ use xt4_repro::xtsim::report::Scale;
 #[test]
 fn every_figure_regenerates_quick() {
     for fig in all_figures() {
-        let out = (fig.run)(Scale::Quick);
+        let out = fig.run(Scale::Quick);
         assert_eq!(out.id, fig.id);
         assert!(
             !out.series.is_empty() || !out.notes.is_empty(),
@@ -31,7 +31,7 @@ fn every_figure_regenerates_quick() {
 #[test]
 fn every_ablation_regenerates_quick() {
     for fig in all_ablations() {
-        let out = (fig.run)(Scale::Quick);
+        let out = fig.run(Scale::Quick);
         assert!(!out.series.is_empty(), "{} produced nothing", fig.id);
         for s in &out.series {
             for &(_, y) in &s.points {

@@ -3,6 +3,7 @@
 //! ```text
 //! figures [--full|--quick|--scale quick|full] [--only ID[,ID...]] [--all]
 //!         [--ablations] [--jobs N] [--no-cache] [--cache-dir DIR] [--out DIR]
+//!         [--trace DIR] [--metrics FILE]
 //! ```
 //!
 //! Default scale is `--quick` (reduced sweeps, seconds per figure); `--full`
@@ -17,6 +18,12 @@
 //!
 //! Results are printed and also written to `DIR` (default `results/`) as
 //! `<id>.csv` and `<id>.json`.
+//!
+//! Observability: `--trace DIR` writes one Chrome trace-event JSON file per
+//! *computed* job into `DIR` (load in Perfetto / `chrome://tracing`), and
+//! `--metrics FILE` writes a machine-readable per-figure metrics record
+//! (cache hits/misses, wall-clock, simulated-time breakdown by span
+//! category). Either flag enables trace capture inside the simulations.
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -24,7 +31,7 @@ use std::path::PathBuf;
 use xtsim::ablations::all_ablations;
 use xtsim::figures::{all_figures, Figure};
 use xtsim::report::Scale;
-use xtsim::sweep::{run_figure, DiskCache, SweepConfig};
+use xtsim::sweep::{run_figure, DiskCache, FigureMetrics, SweepConfig};
 
 struct Args {
     scale: Scale,
@@ -34,6 +41,8 @@ struct Args {
     jobs: usize,
     cache: bool,
     cache_dir: PathBuf,
+    trace_dir: Option<PathBuf>,
+    metrics: Option<PathBuf>,
 }
 
 fn default_jobs() -> usize {
@@ -49,6 +58,8 @@ fn parse_args() -> Args {
         jobs: default_jobs(),
         cache: true,
         cache_dir: DiskCache::default_dir(),
+        trace_dir: None,
+        metrics: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -85,10 +96,17 @@ fn parse_args() -> Args {
             "--cache-dir" => {
                 args.cache_dir = PathBuf::from(it.next().expect("--cache-dir needs a directory"));
             }
+            "--trace" => {
+                args.trace_dir = Some(PathBuf::from(it.next().expect("--trace needs a directory")));
+            }
+            "--metrics" => {
+                args.metrics = Some(PathBuf::from(it.next().expect("--metrics needs a file path")));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: figures [--full|--quick|--scale quick|full] [--only ID[,ID...]] [--all]\n\
-                     \x20              [--ablations] [--jobs N] [--no-cache] [--cache-dir DIR] [--out DIR]"
+                     \x20              [--ablations] [--jobs N] [--no-cache] [--cache-dir DIR] [--out DIR]\n\
+                     \x20              [--trace DIR] [--metrics FILE]"
                 );
                 std::process::exit(0);
             }
@@ -111,6 +129,12 @@ fn make_config(args: &Args) -> SweepConfig {
                 args.cache_dir.display()
             ),
         }
+    }
+    if let Some(dir) = &args.trace_dir {
+        cfg = cfg.with_trace_dir(dir.clone());
+    }
+    if args.metrics.is_some() {
+        cfg = cfg.with_metrics();
     }
     cfg
 }
@@ -139,6 +163,7 @@ fn main() {
     );
     let mut total_computed = 0usize;
     let mut total_cached = 0usize;
+    let mut all_metrics: Vec<FigureMetrics> = Vec::new();
     let t_all = std::time::Instant::now();
     for fig in figures {
         let cfg = make_config(&args);
@@ -148,8 +173,19 @@ fn main() {
             "({}: {} job(s), {} computed, {} cached, {:.1?})\n",
             fig.id, stats.total, stats.computed, stats.cached, stats.wall
         );
+        if stats.key_mismatches > 0 {
+            eprintln!(
+                "warning: {}: {} cache entr{} failed key verification (recomputed)",
+                fig.id,
+                stats.key_mismatches,
+                if stats.key_mismatches == 1 { "y" } else { "ies" }
+            );
+        }
         total_computed += stats.computed;
         total_cached += stats.cached;
+        if let Some(m) = stats.metrics {
+            all_metrics.push(m);
+        }
         let csv_path = args.out.join(format!("{}.csv", fig.id));
         std::fs::File::create(&csv_path)
             .and_then(|mut f| f.write_all(result.to_csv().as_bytes()))
@@ -164,6 +200,24 @@ fn main() {
                 )
             })
             .expect("write json");
+    }
+    if let Some(path) = &args.metrics {
+        let record = xtsim::sweep::obj(vec![
+            ("scale", args.scale.label().into()),
+            ("jobs", (args.jobs as u32).into()),
+            ("wall_secs", t_all.elapsed().as_secs_f64().into()),
+            ("figures", serde_json::to_value(&all_metrics).expect("metrics serialize")),
+        ]);
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent).expect("create metrics directory");
+        }
+        std::fs::write(path, serde_json::to_string_pretty(&record).expect("serialize"))
+            .expect("write metrics");
+        println!("metrics record written to {}", path.display());
+    }
+    if let Some(dir) = &args.trace_dir {
+        let n: usize = all_metrics.iter().map(|m| m.trace_files.len()).sum();
+        println!("{n} trace file(s) written to {} (load in Perfetto)", dir.display());
     }
     println!(
         "results written to {} ({} job(s) computed, {} from cache, total {:.1?})",

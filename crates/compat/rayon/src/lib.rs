@@ -60,7 +60,8 @@ impl<'a, T: Send> ParEnumerate<'a, T> {
     where
         F: Fn((usize, &'a mut [T])) + Send + Sync,
     {
-        let items: Vec<Mutex<Option<(usize, &'a mut [T])>>> = self
+        type Slot<'b, U> = Mutex<Option<(usize, &'b mut [U])>>;
+        let items: Vec<Slot<'a, T>> = self
             .chunks
             .into_iter()
             .enumerate()

@@ -168,6 +168,21 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
+    /// Consume exactly four hex digits (the body of a `\uXXXX` escape).
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::msg("eof in \\u escape"))?;
+        let code = u32::from_str_radix(
+            std::str::from_utf8(hex).map_err(|_| Error::msg("bad \\u"))?,
+            16,
+        )
+        .map_err(|_| Error::msg("bad \\u"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
     fn expect(&mut self, b: u8) -> Result<(), Error> {
         if self.peek() == Some(b) {
             self.pos += 1;
@@ -287,18 +302,37 @@ impl<'a> Parser<'a> {
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or_else(|| Error::msg("eof in \\u escape"))?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| Error::msg("bad \\u"))?,
-                                16,
-                            )
-                            .map_err(|_| Error::msg("bad \\u"))?;
-                            self.pos += 4;
-                            // Surrogate pairs are not needed by this workspace.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            let code = self.hex4()?;
+                            let ch = match code {
+                                // High surrogate: must be followed by a low
+                                // surrogate escape; the pair combines into
+                                // one supplementary-plane scalar.
+                                0xD800..=0xDBFF => {
+                                    if self.bytes.get(self.pos..self.pos + 2)
+                                        != Some(&b"\\u"[..])
+                                    {
+                                        return Err(Error::msg(
+                                            "unexpected end of surrogate pair in \\u escape",
+                                        ));
+                                    }
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&lo) {
+                                        return Err(Error::msg(
+                                            "lone leading surrogate in \\u escape",
+                                        ));
+                                    }
+                                    let c = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(c).expect("surrogate pair is a valid scalar")
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(Error::msg(
+                                        "lone trailing surrogate in \\u escape",
+                                    ))
+                                }
+                                c => char::from_u32(c).expect("non-surrogate BMP code is a scalar"),
+                            };
+                            out.push(ch);
                         }
                         _ => return Err(Error::msg("unknown escape")),
                     }

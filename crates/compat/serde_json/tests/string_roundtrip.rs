@@ -1,0 +1,88 @@
+//! String escaping/parsing conformance: `\uXXXX` surrogate pairs must
+//! combine into one scalar (and lone surrogates must be rejected), control
+//! characters must escape on output, and arbitrary Unicode text must survive
+//! a serialize → parse round trip unchanged.
+
+use proptest::prelude::*;
+use serde::Value;
+
+fn parse_str(json: &str) -> String {
+    let v: Value = serde_json::from_str(json).expect("parses");
+    v.as_str().expect("string value").to_string()
+}
+
+/// JSON-escape `s` the hard way: every char as `\uXXXX` escapes of its
+/// UTF-16 code units, so astral chars exercise the surrogate-pair path.
+fn utf16_escaped(s: &str) -> String {
+    let mut out = String::from("\"");
+    for unit in s.encode_utf16() {
+        out.push_str(&format!("\\u{unit:04x}"));
+    }
+    out.push('"');
+    out
+}
+
+#[test]
+fn surrogate_pair_decodes_to_one_scalar() {
+    // U+1D11E MUSICAL SYMBOL G CLEF and U+1F600 GRINNING FACE.
+    assert_eq!(parse_str(r#""\ud834\udd1e""#), "\u{1d11e}");
+    assert_eq!(parse_str(r#""\uD83D\uDE00""#), "\u{1f600}");
+    // Pair embedded in surrounding text, and upper-case hex digits.
+    assert_eq!(parse_str(r#""a\ud834\udd1ez""#), "a\u{1d11e}z");
+}
+
+#[test]
+fn lone_surrogates_are_rejected() {
+    for bad in [
+        r#""\ud834""#,          // high surrogate at end of string
+        r#""\ud834x""#,         // high surrogate followed by plain text
+        r#""\ud834\n""#,        // high surrogate followed by another escape
+        r#""\ud834\ud834""#,    // high surrogate followed by another high
+        r#""\udd1e""#,          // low surrogate alone
+        r#""x\udc00y""#,        // low surrogate mid-string
+    ] {
+        assert!(
+            serde_json::from_str::<Value>(bad).is_err(),
+            "accepted invalid surrogate usage: {bad}"
+        );
+    }
+}
+
+#[test]
+fn bmp_escapes_still_decode() {
+    assert_eq!(parse_str(r#""\u0041\u00e9\u4e2d""#), "Aé中");
+    assert_eq!(parse_str(r#""\u0000""#), "\u{0}");
+}
+
+#[test]
+fn control_chars_escape_on_output_and_roundtrip() {
+    let s: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+    let json = serde_json::to_string(&s).unwrap();
+    // Everything below U+0020 must be escaped in the output.
+    assert!(json.chars().all(|c| c >= ' '), "unescaped control char in {json:?}");
+    assert_eq!(parse_str(&json), s);
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_unicode_roundtrips(cps in prop::collection::vec(0u32..0x110000, 0..48)) {
+        // Map the raw draws onto valid scalars (skipping the surrogate gap).
+        let s: String = cps
+            .into_iter()
+            .filter_map(char::from_u32)
+            .collect();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: String = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &s);
+    }
+
+    #[test]
+    fn utf16_escaped_form_parses_to_original(cps in prop::collection::vec(0u32..0x110000, 1..24)) {
+        let s: String = cps
+            .into_iter()
+            .filter_map(char::from_u32)
+            .collect();
+        let back = parse_str(&utf16_escaped(&s));
+        prop_assert_eq!(&back, &s);
+    }
+}

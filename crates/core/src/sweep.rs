@@ -20,12 +20,14 @@
 //! [`ENGINE_VERSION`] whenever simulator semantics change; every old entry
 //! then misses.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use serde::{impl_serde_struct, Value};
+use xtsim_des::trace::{self, TraceData, TraceSummary};
 use xtsim_machine::fingerprint::hex_digest;
 use xtsim_machine::{ExecMode, MachineSpec};
 
@@ -112,6 +114,9 @@ impl Job {
     }
 }
 
+/// Boxed assembly step: job outputs, in job order, to the finished figure.
+pub type AssembleFn = Box<dyn FnOnce(&[Value]) -> FigureResult + Send>;
+
 /// A figure decomposed into jobs plus the (cheap, pure) assembly step that
 /// turns the job outputs — supplied **in job order** — into the final
 /// [`FigureResult`]. Assembly must not simulate anything; all cost lives in
@@ -122,7 +127,7 @@ pub struct FigureSpec {
     /// The sweep points, in deterministic order.
     pub jobs: Vec<Job>,
     /// Reassembles outputs (`outputs[i]` is `jobs[i]`'s value) into the figure.
-    pub assemble: Box<dyn FnOnce(&[Value]) -> FigureResult + Send>,
+    pub assemble: AssembleFn,
 }
 
 impl FigureSpec {
@@ -143,6 +148,18 @@ impl FigureSpec {
         self.jobs.push(Job::new(key, run));
         self.jobs.len() - 1
     }
+}
+
+/// Outcome of a verified cache lookup ([`DiskCache::load`]).
+#[derive(Debug, Clone)]
+pub enum CacheLookup {
+    /// Entry present and its embedded key matches the requesting [`JobKey`].
+    Hit(Value),
+    /// No entry on disk (or an unreadable/corrupt file).
+    Miss,
+    /// Entry present but recorded under a *different* key — a digest
+    /// collision or a corrupted/foreign entry. Must be recomputed.
+    KeyMismatch,
 }
 
 /// On-disk content-addressed job cache (one JSON file per digest).
@@ -172,22 +189,46 @@ impl DiskCache {
         self.dir.join(format!("{digest}.json"))
     }
 
-    /// Load the cached value for `digest`, if present and well-formed.
-    pub fn load(&self, digest: &str) -> Option<Value> {
-        let text = std::fs::read_to_string(self.path_for(digest)).ok()?;
-        let entry: Value = serde_json::from_str(&text).ok()?;
-        entry.as_object()?.get("value").cloned()
+    /// Load and *verify* the cached entry for `digest`: the entry's embedded
+    /// key must canonically match the requesting `key`. A digest collision, a
+    /// foreign entry, or an entry missing its key is a [`CacheLookup::KeyMismatch`]
+    /// — callers must recompute, exactly as for a plain miss.
+    pub fn load(&self, digest: &str, key: &JobKey) -> CacheLookup {
+        let Ok(text) = std::fs::read_to_string(self.path_for(digest)) else {
+            return CacheLookup::Miss;
+        };
+        let Ok(entry) = serde_json::from_str::<Value>(&text) else {
+            return CacheLookup::Miss; // corrupt file: plain miss
+        };
+        let Some(obj) = entry.as_object() else {
+            return CacheLookup::Miss;
+        };
+        let expected = serde_json::to_string(key).expect("JobKey serializes");
+        let stored = obj.get("key").map(|k| serde_json::to_string(k).expect("Value serializes"));
+        if stored.as_deref() != Some(expected.as_str()) {
+            return CacheLookup::KeyMismatch;
+        }
+        match obj.get("value") {
+            Some(v) => CacheLookup::Hit(v.clone()),
+            None => CacheLookup::Miss,
+        }
     }
 
-    /// Store `value` (with its `key`, for debuggability) under `digest`.
-    /// Writes to a temp file then renames, so concurrent readers never see a
-    /// torn entry.
+    /// Store `value` (with its `key`, for load-time verification) under
+    /// `digest`. Writes to a temp file unique to this process *and* store
+    /// call, then renames, so concurrent writers — even across processes
+    /// sharing the cache directory — never tear each other's entries.
     pub fn store(&self, digest: &str, key: &JobKey, value: &Value) -> std::io::Result<()> {
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
         let mut entry = std::collections::BTreeMap::new();
         entry.insert("key".to_string(), serde_json::to_value(key).expect("key serializes"));
         entry.insert("value".to_string(), value.clone());
         let text = serde_json::to_string_pretty(&Value::Object(entry)).expect("entry serializes");
-        let tmp = self.dir.join(format!(".{digest}.tmp"));
+        let tmp = self.dir.join(format!(
+            ".{digest}.{}.{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         std::fs::write(&tmp, text)?;
         std::fs::rename(&tmp, self.path_for(digest))
     }
@@ -215,11 +256,17 @@ pub struct SweepConfig {
     pub jobs: usize,
     /// Result cache; `None` recomputes everything.
     pub cache: Option<DiskCache>,
+    /// Directory receiving one Chrome trace-event JSON file per *computed*
+    /// job; `None` disables trace export.
+    pub trace_dir: Option<PathBuf>,
+    /// Collect per-job [`TraceSummary`]s and a per-figure [`FigureMetrics`]
+    /// record (implied by `trace_dir`).
+    pub collect_metrics: bool,
 }
 
 impl Default for SweepConfig {
     fn default() -> SweepConfig {
-        SweepConfig { jobs: 1, cache: None }
+        SweepConfig { jobs: 1, cache: None, trace_dir: None, collect_metrics: false }
     }
 }
 
@@ -231,7 +278,7 @@ impl SweepConfig {
 
     /// `n` worker threads, no cache.
     pub fn threads(n: usize) -> SweepConfig {
-        SweepConfig { jobs: n.max(1), cache: None }
+        SweepConfig { jobs: n.max(1), ..SweepConfig::default() }
     }
 
     /// Attach a cache.
@@ -239,10 +286,94 @@ impl SweepConfig {
         self.cache = Some(cache);
         self
     }
+
+    /// Export per-job Chrome traces into `dir`.
+    pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> SweepConfig {
+        self.trace_dir = Some(dir.into());
+        self
+    }
+
+    /// Collect a per-figure metrics record.
+    pub fn with_metrics(mut self) -> SweepConfig {
+        self.collect_metrics = true;
+        self
+    }
+
+    fn capture(&self) -> bool {
+        self.collect_metrics || self.trace_dir.is_some()
+    }
 }
 
+/// Per-job entry of a [`FigureMetrics`] record.
+#[derive(Debug, Clone)]
+pub struct JobMetrics {
+    /// Job index within the figure spec.
+    pub index: u64,
+    /// Generator family of the job's key.
+    pub kind: String,
+    /// Cache digest of the job's key.
+    pub digest: String,
+    /// Whether the job was answered from the cache (no trace then).
+    pub cached: bool,
+    /// Trace aggregate for computed jobs when capture was enabled.
+    pub trace: Option<TraceSummary>,
+}
+
+impl_serde_struct!(JobMetrics { index, kind, digest, cached, trace });
+
+/// Machine-readable per-figure metrics record: what ran, what hit the cache,
+/// and where simulated time went (categories from
+/// [`xtsim_des::trace::SpanCategory`]).
+#[derive(Debug, Clone, Default)]
+pub struct FigureMetrics {
+    /// Figure id, e.g. `"fig08"`.
+    pub figure: String,
+    /// Total sweep-point jobs.
+    pub total_jobs: u64,
+    /// Jobs executed this run.
+    pub computed: u64,
+    /// Jobs answered from the cache.
+    pub cached: u64,
+    /// Cache entries rejected because the embedded key did not match.
+    pub key_mismatches: u64,
+    /// Wall-clock seconds for the whole figure.
+    pub wall_secs: f64,
+    /// Simulated seconds per span category, summed over computed jobs.
+    pub sim_secs_by_category: BTreeMap<String, f64>,
+    /// Sum of the *rank-time* categories (compute/p2p/collective/io) — the
+    /// figure's total attributed simulated busy time. Flow spans overlap
+    /// rank spans and are excluded.
+    pub sim_total_secs: f64,
+    /// Span count per category, summed over computed jobs.
+    pub span_counts_by_category: BTreeMap<String, u64>,
+    /// Total spans captured.
+    pub spans: u64,
+    /// Spans discarded by the per-job capture limit.
+    pub dropped_spans: u64,
+    /// Chrome trace files written (relative to the trace directory).
+    pub trace_files: Vec<String>,
+    /// Per-job detail, in job order.
+    pub jobs: Vec<JobMetrics>,
+}
+
+impl_serde_struct!(FigureMetrics {
+    figure,
+    total_jobs,
+    computed,
+    cached,
+    key_mismatches,
+    wall_secs,
+    sim_secs_by_category,
+    sim_total_secs,
+    span_counts_by_category,
+    spans,
+    dropped_spans,
+    trace_files,
+    jobs,
+});
+
 /// What one figure run did.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunStats {
     /// Total sweep-point jobs in the figure.
     pub total: usize,
@@ -250,40 +381,73 @@ pub struct RunStats {
     pub computed: usize,
     /// Jobs answered from the cache.
     pub cached: usize,
+    /// Cache entries whose embedded key did not match the requesting key
+    /// (treated as misses and recomputed).
+    pub key_mismatches: usize,
     /// Wall-clock time for the whole figure (lookup + execute + assemble).
     pub wall: Duration,
+    /// Metrics record, when [`SweepConfig::collect_metrics`] or a trace
+    /// directory was set.
+    pub metrics: Option<FigureMetrics>,
 }
 
-/// Execute a figure spec under `cfg`: cache-lookup every job, run the misses
-/// on the worker pool, persist fresh results, and assemble in job order.
+/// One computed job's result: its output value plus the trace captured
+/// around it (when capture was on).
+type JobOutcome = (Value, Option<TraceData>);
+
+/// Execute a figure spec under `cfg`: cache-lookup every job (verifying the
+/// embedded key), run the misses on the worker pool — optionally under trace
+/// capture — persist fresh results, export traces, and assemble in job order.
 pub fn run_figure(spec: FigureSpec, cfg: &SweepConfig) -> (FigureResult, RunStats) {
     let t0 = Instant::now();
     let n = spec.jobs.len();
     let digests: Vec<String> = spec.jobs.iter().map(|j| j.key.digest()).collect();
 
-    // Slot per job; cache hits fill immediately, misses queue up.
+    // Slot per job; verified cache hits fill immediately, misses queue up.
     let mut slots: Vec<Option<Value>> = (0..n).map(|_| None).collect();
     let mut pending: Vec<usize> = Vec::new();
+    let mut key_mismatches = 0usize;
     for i in 0..n {
-        match cfg.cache.as_ref().and_then(|c| c.load(&digests[i])) {
-            Some(v) => slots[i] = Some(v),
-            None => pending.push(i),
+        match cfg.cache.as_ref().map(|c| c.load(&digests[i], &spec.jobs[i].key)) {
+            Some(CacheLookup::Hit(v)) => slots[i] = Some(v),
+            Some(CacheLookup::KeyMismatch) => {
+                key_mismatches += 1;
+                eprintln!(
+                    "warning: cache entry {} does not match job {} ({}); recomputing",
+                    digests[i], i, spec.jobs[i].key.kind
+                );
+                pending.push(i);
+            }
+            Some(CacheLookup::Miss) | None => pending.push(i),
         }
     }
     let cached = n - pending.len();
+    let capture = cfg.capture();
 
     // Execute misses: worker threads pull indices off a shared atomic cursor
     // (cheap work-stealing); results land in per-job mutexed slots and are
     // read back in job order, so scheduling order never leaks into output.
+    // Each job runs single-threaded on whichever worker claims it, so
+    // thread-local trace capture brackets exactly that job's simulation.
     let workers = cfg.jobs.max(1).min(pending.len().max(1));
-    let fresh: Vec<Mutex<Option<Value>>> = pending.iter().map(|_| Mutex::new(None)).collect();
+    let exec = |i: usize| -> JobOutcome {
+        if capture {
+            trace::capture_begin();
+            let v = (spec.jobs[i].run)();
+            (v, trace::capture_end())
+        } else {
+            ((spec.jobs[i].run)(), None)
+        }
+    };
+    let fresh: Vec<Mutex<Option<JobOutcome>>> =
+        pending.iter().map(|_| Mutex::new(None)).collect();
     if workers <= 1 {
         for (slot, &i) in fresh.iter().zip(&pending) {
-            *slot.lock().unwrap() = Some((spec.jobs[i].run)());
+            *slot.lock().unwrap() = Some(exec(i));
         }
     } else {
         let cursor = AtomicUsize::new(0);
-        let jobs = &spec.jobs;
+        let exec_ref = &exec;
         let pending_ref = &pending;
         let fresh_ref = &fresh;
         std::thread::scope(|s| {
@@ -293,24 +457,96 @@ pub fn run_figure(spec: FigureSpec, cfg: &SweepConfig) -> (FigureResult, RunStat
                     if k >= pending_ref.len() {
                         break;
                     }
-                    let v = (jobs[pending_ref[k]].run)();
+                    let v = exec_ref(pending_ref[k]);
                     *fresh_ref[k].lock().unwrap() = Some(v);
                 });
             }
         });
     }
+
+    let mut metrics = capture.then(|| FigureMetrics {
+        figure: spec.id.to_string(),
+        total_jobs: n as u64,
+        computed: pending.len() as u64,
+        cached: cached as u64,
+        key_mismatches: key_mismatches as u64,
+        ..FigureMetrics::default()
+    });
+    if let (Some(m), true) = (metrics.as_mut(), cached > 0) {
+        for i in 0..n {
+            if slots[i].is_some() {
+                m.jobs.push(JobMetrics {
+                    index: i as u64,
+                    kind: spec.jobs[i].key.kind.clone(),
+                    digest: digests[i].clone(),
+                    cached: true,
+                    trace: None,
+                });
+            }
+        }
+    }
+    if let Some(dir) = &cfg.trace_dir {
+        let _ = std::fs::create_dir_all(dir);
+    }
+
     for (slot, &i) in fresh.iter().zip(&pending) {
-        let v = slot.lock().unwrap().take().expect("worker filled every slot");
+        let (v, trace_data) = slot.lock().unwrap().take().expect("worker filled every slot");
         if let Some(cache) = &cfg.cache {
             // Cache write failure is not a figure failure; drop the entry.
             let _ = cache.store(&digests[i], &spec.jobs[i].key, &v);
         }
+        if let Some(m) = metrics.as_mut() {
+            let td = trace_data.unwrap_or_default();
+            if let Some(dir) = &cfg.trace_dir {
+                let fname = format!("{}-job{:03}-{}.trace.json", spec.id, i, &digests[i][..8]);
+                let json = td.to_chrome_json(&[
+                    ("figure", Value::Str(spec.id.to_string())),
+                    ("jobIndex", Value::Int(i as i64)),
+                    ("kind", Value::Str(spec.jobs[i].key.kind.clone())),
+                    ("digest", Value::Str(digests[i].clone())),
+                ]);
+                match std::fs::write(dir.join(&fname), json) {
+                    Ok(()) => m.trace_files.push(fname),
+                    Err(e) => eprintln!("warning: failed to write trace {fname}: {e}"),
+                }
+            }
+            let s = td.summary();
+            for (cat, secs) in &s.secs_by_category {
+                *m.sim_secs_by_category.entry(cat.clone()).or_insert(0.0) += secs;
+            }
+            for (cat, count) in &s.counts_by_category {
+                *m.span_counts_by_category.entry(cat.clone()).or_insert(0) += count;
+            }
+            m.sim_total_secs += s.rank_busy_secs;
+            m.spans += s.spans;
+            m.dropped_spans += td.dropped;
+            m.jobs.push(JobMetrics {
+                index: i as u64,
+                kind: spec.jobs[i].key.kind.clone(),
+                digest: digests[i].clone(),
+                cached: false,
+                trace: Some(s),
+            });
+        }
         slots[i] = Some(v);
+    }
+    if let Some(m) = metrics.as_mut() {
+        m.jobs.sort_by_key(|j| j.index);
     }
 
     let values: Vec<Value> = slots.into_iter().map(|s| s.expect("all slots filled")).collect();
     let fig = (spec.assemble)(&values);
-    let stats = RunStats { total: n, computed: pending.len(), cached, wall: t0.elapsed() };
+    if let Some(m) = metrics.as_mut() {
+        m.wall_secs = t0.elapsed().as_secs_f64();
+    }
+    let stats = RunStats {
+        total: n,
+        computed: pending.len(),
+        cached,
+        key_mismatches,
+        wall: t0.elapsed(),
+        metrics,
+    };
     (fig, stats)
 }
 
@@ -384,6 +620,90 @@ mod tests {
         assert_ne!(d0, JobKey::new("k", Some(&presets::xt4()), Some(ExecMode::VN), Scale::Full).with("p", 1).digest());
         assert_ne!(d0, base().with("p", 2).digest());
         assert_ne!(d0, { let mut k = base(); k.engine_version += 1; k.digest() });
+    }
+
+    #[test]
+    fn mismatched_cache_key_is_a_miss() {
+        let dir = std::env::temp_dir().join(format!("xtsim-mismatch-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DiskCache::new(&dir).unwrap();
+        // Poison job 0's digest slot with an entry recorded under a
+        // *different* key (as a digest collision or corruption would).
+        let key0 = JobKey::new("tiny", None, None, Scale::Quick).with("i", 0u32);
+        let foreign = JobKey::new("tiny", None, None, Scale::Quick).with("i", 7u32);
+        let digest0 = key0.digest();
+        cache.store(&digest0, &foreign, &obj(vec![("y", 999.0.into())])).unwrap();
+        assert!(matches!(cache.load(&digest0, &key0), CacheLookup::KeyMismatch));
+        assert!(matches!(cache.load(&digest0, &foreign), CacheLookup::Hit(_)));
+
+        // The engine must recompute the poisoned job, not serve 999.
+        let cfg = SweepConfig::serial().with_cache(DiskCache::new(&dir).unwrap());
+        let (fig, stats) = run_figure(tiny_spec(2.0), &cfg);
+        assert_eq!(stats.key_mismatches, 1);
+        assert_eq!(stats.computed, 5);
+        assert_eq!(fig.series[0].points[0].1, 0.0, "served a mismatched entry");
+        // The recompute overwrote the poisoned entry with a verified one.
+        assert!(matches!(
+            DiskCache::new(&dir).unwrap().load(&digest0, &key0),
+            CacheLookup::Hit(_)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_stores_never_tear_entries() {
+        let dir = std::env::temp_dir().join(format!("xtsim-racestore-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = JobKey::new("race", None, None, Scale::Quick).with("p", 1u32);
+        let digest = key.digest();
+        // Writers hammer the same digest with two alternating payloads while
+        // readers continuously load-and-verify; a torn or misnamed temp file
+        // would surface as a corrupt (Miss) or mismatched entry.
+        std::thread::scope(|s| {
+            for w in 0..4u32 {
+                let dir = dir.clone();
+                let key = key.clone();
+                let digest = digest.clone();
+                s.spawn(move || {
+                    let cache = DiskCache::new(&dir).unwrap();
+                    for round in 0..50u32 {
+                        let y = f64::from((w + round) % 2);
+                        cache.store(&digest, &key, &obj(vec![("y", y.into())])).unwrap();
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let dir = dir.clone();
+                let key = key.clone();
+                let digest = digest.clone();
+                s.spawn(move || {
+                    let cache = DiskCache::new(&dir).unwrap();
+                    for _ in 0..200 {
+                        match cache.load(&digest, &key) {
+                            CacheLookup::Hit(v) => {
+                                let y = num(&v, "y");
+                                assert!(y == 0.0 || y == 1.0, "torn value {y}");
+                            }
+                            CacheLookup::Miss => {} // not yet written / mid-rename
+                            CacheLookup::KeyMismatch => panic!("key mismatch from torn write"),
+                        }
+                    }
+                });
+            }
+        });
+        // Every temp file was renamed away; the entry is whole and verified.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+        assert!(matches!(
+            DiskCache::new(&dir).unwrap().load(&digest, &key),
+            CacheLookup::Hit(_)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

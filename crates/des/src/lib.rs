@@ -35,7 +35,7 @@ mod fluid;
 mod resource;
 mod sync;
 mod time;
-mod trace;
+pub mod trace;
 
 pub use channel::{channel, oneshot, OneshotReceiver, OneshotSender, Receiver, RecvError, Sender};
 pub use combinators::{join2, join_all, select2, Either, Join2, JoinAll, Select2};
@@ -43,5 +43,5 @@ pub use executor::{JoinHandle, Sim, SimHandle, Sleep, YieldNow};
 pub use fluid::{FluidPool, LinkId, Transfer};
 pub use resource::FifoStation;
 pub use sync::{Notify, Semaphore, SemaphoreGuard, SimBarrier};
-pub use trace::{TraceEvent, Tracer};
+pub use trace::{Span, SpanCategory, TraceData, TraceEvent, TraceSummary, Tracer};
 pub use time::{SimDuration, SimTime, PS_PER_SEC};

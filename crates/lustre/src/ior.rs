@@ -8,6 +8,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use xtsim_des::trace::{self, SpanCategory};
 use xtsim_des::{Sim, SimBarrier};
 
 use crate::fs::{Lustre, LustreConfig};
@@ -72,6 +73,7 @@ pub fn run_ior(seed: u64, fs_cfg: LustreConfig, cfg: IorConfig) -> IorResult {
         let h = sim.handle();
         sim.spawn(async move {
             // --- open phase ---
+            let t0 = h.now();
             let fh = if cfg.file_per_process {
                 client.create(cfg.stripe_count).await
             } else if c == 0 {
@@ -83,6 +85,9 @@ pub fn run_ior(seed: u64, fs_cfg: LustreConfig, cfg: IorConfig) -> IorResult {
                 let fid = shared_fid.borrow().expect("created");
                 client.open(fid).await.expect("shared file exists")
             };
+            if trace::capture_active() {
+                trace::span(SpanCategory::Io, "open", Some(c as u32), None, t0, h.now(), Vec::new());
+            }
             if !cfg.file_per_process && c == 0 {
                 barrier.wait().await;
             }
@@ -97,11 +102,16 @@ pub fn run_ior(seed: u64, fs_cfg: LustreConfig, cfg: IorConfig) -> IorResult {
             } else {
                 c as u64 * cfg.block_size
             };
+            let t0 = h.now();
             let mut off = 0;
             while off < cfg.block_size {
                 let chunk = cfg.transfer_size.min(cfg.block_size - off);
                 client.write(fh, base + off, chunk).await;
                 off += chunk;
+            }
+            if trace::capture_active() {
+                let args = vec![("bytes", cfg.block_size as f64)];
+                trace::span(SpanCategory::Io, "write", Some(c as u32), None, t0, h.now(), args);
             }
             barrier.wait().await;
             {
@@ -109,11 +119,16 @@ pub fn run_ior(seed: u64, fs_cfg: LustreConfig, cfg: IorConfig) -> IorResult {
                 m.1 = m.1.max(h.now().as_secs_f64());
             }
             // --- read phase ---
+            let t0 = h.now();
             let mut off = 0;
             while off < cfg.block_size {
                 let chunk = cfg.transfer_size.min(cfg.block_size - off);
                 client.read(fh, base + off, chunk).await;
                 off += chunk;
+            }
+            if trace::capture_active() {
+                let args = vec![("bytes", cfg.block_size as f64)];
+                trace::span(SpanCategory::Io, "read", Some(c as u32), None, t0, h.now(), args);
             }
             barrier.wait().await;
             {

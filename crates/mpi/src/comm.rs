@@ -16,6 +16,7 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use xtsim_des::join_all;
+use xtsim_des::trace::{self, SpanCategory};
 
 use crate::gate::{modeled_time, CollShape, Contribution, Gate, GateOutput};
 use crate::message::{Message, ReduceOp};
@@ -152,13 +153,17 @@ impl Comm {
     }
 
     /// RAII collective timer: brackets a collective call for the profiler
-    /// (p2p issued inside is charged to the collective, not to p2p).
-    fn coll_timer(&self) -> CollTimer {
+    /// (p2p issued inside is charged to the collective, not to p2p) and for
+    /// the typed trace stream (one [`SpanCategory::Collective`] span per
+    /// call, named after the operation).
+    fn coll_timer(&self, name: &'static str) -> CollTimer {
         let rank = self.members.world_rank(self.my_index);
         self.world.coll_depth.borrow_mut()[rank] += 1;
         CollTimer {
             world: Rc::clone(&self.world),
             rank,
+            name,
+            size: self.size(),
             t0: self.world.platform.handle().now(),
         }
     }
@@ -183,7 +188,7 @@ impl Comm {
 
     /// Dissemination barrier.
     pub async fn barrier(&self) {
-        let _prof = self.coll_timer();
+        let _prof = self.coll_timer("barrier");
         let seq = self.bump_seq();
         let p = self.size();
         if p <= 1 {
@@ -211,7 +216,7 @@ impl Comm {
     /// Binomial-tree broadcast from communicator rank `root`. Every rank
     /// returns the broadcast message.
     pub async fn bcast(&self, root: usize, msg: Option<Message>) -> Message {
-        let _prof = self.coll_timer();
+        let _prof = self.coll_timer("bcast");
         let seq = self.bump_seq();
         let p = self.size();
         if self.my_index == root {
@@ -267,7 +272,7 @@ impl Comm {
     /// Binomial-tree reduction to communicator rank `root`. The root gets
     /// `Some(result)`; everyone else `None`.
     pub async fn reduce(&self, root: usize, data: Vec<f64>, op: ReduceOp) -> Option<Vec<f64>> {
-        let _prof = self.coll_timer();
+        let _prof = self.coll_timer("reduce");
         let seq = self.bump_seq();
         let p = self.size();
         if p <= 1 {
@@ -315,7 +320,7 @@ impl Comm {
     /// Recursive-doubling allreduce (MPICH algorithm, with pre/post folding
     /// for non-power-of-two sizes). Every rank returns the combined vector.
     pub async fn allreduce(&self, data: Vec<f64>, op: ReduceOp) -> Vec<f64> {
-        let _prof = self.coll_timer();
+        let _prof = self.coll_timer("allreduce");
         let seq = self.bump_seq();
         let p = self.size();
         if p <= 1 {
@@ -394,7 +399,7 @@ impl Comm {
 
     /// Ring allgather: returns every rank's block, in communicator-rank order.
     pub async fn allgather(&self, msg: Message) -> Vec<Message> {
-        let _prof = self.coll_timer();
+        let _prof = self.coll_timer("allgather");
         let seq = self.bump_seq();
         let p = self.size();
         if p <= 1 {
@@ -441,7 +446,7 @@ impl Comm {
     /// In modeled mode this is size-only: returned messages carry sizes (the
     /// per-pair size is taken from `msgs[0]`) but no payload data.
     pub async fn alltoall(&self, msgs: Vec<Message>) -> Vec<Message> {
-        let _prof = self.coll_timer();
+        let _prof = self.coll_timer("alltoall");
         let p = self.size();
         assert_eq!(msgs.len(), p, "alltoall needs one message per rank");
         let seq = self.bump_seq();
@@ -484,7 +489,7 @@ impl Comm {
     /// the CAM remap and load-balancing phases). `send_bytes[i]` is the
     /// payload size for communicator rank `i`; zero entries send nothing.
     pub async fn alltoallv_bytes(&self, send_bytes: &[u64]) {
-        let _prof = self.coll_timer();
+        let _prof = self.coll_timer("alltoallv");
         let p = self.size();
         assert_eq!(send_bytes.len(), p, "alltoallv needs one size per rank");
         let seq = self.bump_seq();
@@ -521,7 +526,7 @@ impl Comm {
     /// Linear gather to `root`: root receives every rank's block in
     /// communicator-rank order; non-roots get `None`.
     pub async fn gather(&self, root: usize, msg: Message) -> Option<Vec<Message>> {
-        let _prof = self.coll_timer();
+        let _prof = self.coll_timer("gather");
         let seq = self.bump_seq();
         let p = self.size();
         let mpi = self.mpi();
@@ -544,7 +549,7 @@ impl Comm {
 
     /// Linear scatter from `root`: root supplies one message per rank.
     pub async fn scatter(&self, root: usize, msgs: Option<Vec<Message>>) -> Message {
-        let _prof = self.coll_timer();
+        let _prof = self.coll_timer("scatter");
         let seq = self.bump_seq();
         let p = self.size();
         let mpi = self.mpi();
@@ -575,16 +580,31 @@ impl Comm {
 struct CollTimer {
     world: Rc<WorldInner>,
     rank: Rank,
+    name: &'static str,
+    size: usize,
     t0: SimTime,
 }
 
 impl Drop for CollTimer {
     fn drop(&mut self) {
         self.world.coll_depth.borrow_mut()[self.rank] -= 1;
-        let dt = (self.world.platform.handle().now() - self.t0).as_secs_f64();
+        let now = self.world.platform.handle().now();
+        let dt = (now - self.t0).as_secs_f64();
         let mut p = self.world.profiles.borrow_mut();
         p[self.rank].collective_secs += dt;
         p[self.rank].collectives += 1;
+        drop(p);
+        if trace::capture_active() {
+            trace::span(
+                SpanCategory::Collective,
+                self.name,
+                Some(self.rank as u32),
+                Some(self.world.platform.node_of(self.rank) as u32),
+                self.t0,
+                now,
+                vec![("comm_size", self.size as f64)],
+            );
+        }
     }
 }
 

@@ -16,6 +16,7 @@ use std::collections::VecDeque;
 use std::future::Future;
 use std::rc::Rc;
 
+use xtsim_des::trace::{self, SpanCategory};
 use xtsim_des::{oneshot, JoinHandle, OneshotSender, Sim, SimDuration, SimHandle, SimTime};
 use xtsim_machine::{ExecMode, MachineSpec, WorkPacket};
 use xtsim_net::{Platform, PlatformConfig, Rank, TrafficStats};
@@ -195,12 +196,34 @@ impl Mpi {
         self.world.platform.mode()
     }
 
+    /// Record a completed rank-attributed span into the active trace capture.
+    fn trace_span(
+        &self,
+        category: SpanCategory,
+        name: &'static str,
+        t0: SimTime,
+        args: Vec<(&'static str, f64)>,
+    ) {
+        trace::span(
+            category,
+            name,
+            Some(self.rank as u32),
+            Some(self.world.platform.node_of(self.rank) as u32),
+            t0,
+            self.now(),
+            args,
+        );
+    }
+
     /// Execute a compute work packet on this rank's core.
     pub async fn compute(&self, work: WorkPacket) {
         let t0 = self.now();
         self.world.platform.compute(self.rank, work).await;
         let dt = (self.now() - t0).as_secs_f64();
         self.world.profiles.borrow_mut()[self.rank].compute_secs += dt;
+        if trace::capture_active() {
+            self.trace_span(SpanCategory::Compute, "compute", t0, Vec::new());
+        }
     }
 
     /// This rank's accumulated activity profile.
@@ -229,6 +252,14 @@ impl Mpi {
             p[self.rank].p2p_secs += (self.now() - t0).as_secs_f64();
             p[self.rank].messages_sent += 1;
             p[self.rank].bytes_sent += bytes;
+            if trace::capture_active() {
+                self.trace_span(
+                    SpanCategory::P2p,
+                    "transmit",
+                    t0,
+                    vec![("dst", dst as f64), ("bytes", bytes as f64)],
+                );
+            }
         }
     }
 
@@ -243,6 +274,15 @@ impl Mpi {
             p[self.rank].p2p_secs += (self.now() - t0).as_secs_f64();
             p[self.rank].messages_sent += 1;
             p[self.rank].bytes_sent += bytes;
+            drop(p);
+            if trace::capture_active() {
+                self.trace_span(
+                    SpanCategory::P2p,
+                    "send",
+                    t0,
+                    vec![("dst", dst as f64), ("bytes", bytes as f64)],
+                );
+            }
         }
     }
 
@@ -298,6 +338,14 @@ impl Mpi {
         if !self.in_collective() {
             self.world.profiles.borrow_mut()[self.rank].p2p_secs +=
                 (self.now() - t0).as_secs_f64();
+            if trace::capture_active() {
+                self.trace_span(
+                    SpanCategory::P2p,
+                    "recv",
+                    t0,
+                    vec![("src", out.0 as f64), ("bytes", out.2.bytes as f64)],
+                );
+            }
         }
         out
     }

@@ -20,6 +20,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use xtsim_des::trace::{self, SpanCategory};
 use xtsim_des::{join2, FifoStation, FluidPool, LinkId, SimDuration, SimHandle};
 use xtsim_machine::{ExecMode, MachineSpec, WorkPacket};
 
@@ -314,10 +315,32 @@ impl Platform {
                 st.intra_node_messages += 1;
             }
         }
+        let t0 = trace::capture_active().then(|| inner.handle.now());
         if src_node == dst_node {
             self.transmit_intra(src_node, bytes).await;
         } else {
             self.transmit_inter(src_node, dst_node, bytes).await;
+        }
+        if let Some(t0) = t0 {
+            let hops = if src_node == dst_node {
+                0
+            } else {
+                inner.torus.hops(src_node, dst_node)
+            };
+            trace::span(
+                SpanCategory::Flow,
+                "flow",
+                None,
+                Some(src_node as u32),
+                t0,
+                inner.handle.now(),
+                vec![
+                    ("src", src as f64),
+                    ("dst", dst as f64),
+                    ("bytes", bytes as f64),
+                    ("hops", hops as f64),
+                ],
+            );
         }
     }
 

@@ -1,17 +1,22 @@
 #!/usr/bin/env bash
-# CI gate: build, full test suite (includes the golden-figure regression
-# harness, the sweep-engine determinism/cache tests, and the cache-key
-# property tests), then a cache-disabled quick-scale smoke run of the
-# figures binary itself.
+# CI gate: lint, build, full test suite (includes the golden-figure
+# regression harness, the sweep-engine determinism/cache tests, the
+# observability trace/metrics consistency tests, and the cache-key and
+# JSON-string property tests), then a cache-disabled quick-scale smoke run
+# of the figures binary itself plus a trace/metrics export smoke.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== build (release) =="
 cargo build --workspace --release
 
 echo "== tests =="
 # Root-package tests carry the golden gate; --workspace adds every crate's
-# unit/integration tests (sweep engine, cache keys, simulator layers).
+# unit/integration tests (sweep engine, cache keys, simulator layers, the
+# offline compat shims).
 cargo test --workspace -q
 
 echo "== figures smoke (quick scale, cache off) =="
@@ -21,6 +26,29 @@ cargo run --release -p xtsim-bench --bin figures -- \
 for id in table1 fig01 fig12 fig23; do
     test -s "$out/$id.json" || { echo "missing $id.json"; exit 1; }
 done
+rm -rf "$out"
+
+echo "== trace/metrics export smoke =="
+out="$(mktemp -d)"
+cargo run --release -p xtsim-bench --bin figures -- \
+    --quick --no-cache --only fig02 --jobs 2 --out "$out" \
+    --trace "$out/traces" --metrics "$out/metrics.json" >/dev/null
+test -s "$out/metrics.json" || { echo "missing metrics.json"; exit 1; }
+ls "$out"/traces/*.trace.json >/dev/null || { echo "no trace files"; exit 1; }
+# Every exported artifact must be well-formed JSON with the expected shape.
+python3 - "$out" <<'EOF'
+import glob, json, sys
+out = sys.argv[1]
+metrics = json.load(open(f"{out}/metrics.json"))
+assert metrics["figures"], "metrics record lists no figures"
+fig = metrics["figures"][0]
+assert fig["computed"] == len(fig["trace_files"]), "one trace per computed job"
+assert fig["sim_total_secs"] > 0, "no simulated time attributed"
+for path in glob.glob(f"{out}/traces/*.trace.json"):
+    trace = json.load(open(path))
+    assert trace["traceEvents"], f"{path}: empty traceEvents"
+    assert all(ev["ph"] == "X" for ev in trace["traceEvents"])
+EOF
 rm -rf "$out"
 
 echo "CI gate passed."

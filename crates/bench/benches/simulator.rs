@@ -5,10 +5,17 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use xtsim::des::{Sim, SimDuration};
+use xtsim::des::{FluidPool, LinkId, Sim, SimDuration};
 use xtsim::hpcc::util::job;
-use xtsim::machine::{presets, ExecMode};
-use xtsim::mpi::{simulate, CollectiveMode, Message, ReduceOp};
+use xtsim::machine::{fit_dims, presets, ExecMode};
+use xtsim::mpi::{simulate, CollectiveMode, Message, ReduceOp, WorldConfig};
+use xtsim::net::{ContentionModel, PlatformConfig};
+
+/// `XTSIM_BENCH_QUICK=1` shrinks the stress benches so CI can smoke them in
+/// seconds (see `scripts/bench.sh --quick`).
+fn quick() -> bool {
+    std::env::var_os("XTSIM_BENCH_QUICK").is_some_and(|v| v == "1")
+}
 
 /// Raw event throughput of the DES core.
 fn bench_event_loop(c: &mut Criterion) {
@@ -97,11 +104,89 @@ fn bench_figure_quick(c: &mut Criterion) {
     g.finish();
 }
 
+/// Synthetic fluid-pool stress: `flows` concurrent transfers over short
+/// overlapping routes on a 512-link pool. Exercises exactly the rebalance
+/// hot path (flow add → rate recompute → completion) with high concurrency.
+fn fluid_pool_stress(flows: usize) -> f64 {
+    let n_links = 512usize;
+    let mut sim = Sim::new(7);
+    let pool = FluidPool::new(sim.handle());
+    let links: Vec<LinkId> = (0..n_links).map(|_| pool.add_link(1.0e9)).collect();
+    for i in 0..flows {
+        let pool = pool.clone();
+        let h = sim.handle();
+        // Two links per route; the stride keeps components overlapping but
+        // not fully global, like real torus traffic.
+        let route = [links[i % n_links], links[(i * 7 + 3) % n_links]];
+        let volume = 100_000.0 + (i % 97) as f64 * 1_000.0;
+        let delay = SimDuration::from_ns((i % 64) as u64 * 500);
+        sim.spawn(async move {
+            h.sleep(delay).await;
+            pool.transfer(&route, volume, None).await;
+        });
+    }
+    sim.run().as_secs_f64()
+}
+
+fn bench_fluid_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fluid_pool");
+    g.sample_size(10);
+    let sizes: &[(usize, &str)] = if quick() {
+        &[(200, "flows_1k"), (500, "flows_10k")]
+    } else {
+        &[(1_000, "flows_1k"), (10_000, "flows_10k")]
+    };
+    for &(flows, label) in sizes {
+        g.bench_function(label, |b| {
+            b.iter(|| fluid_pool_stress(flows));
+        });
+    }
+    g.finish();
+}
+
+/// Pairwise-exchange alltoall on a compact torus partition with **exact
+/// fluid contention** (the model the paper-scale sweeps want to use): the
+/// worst case for the rebalancer — every rank keeps one wire flow in
+/// flight for `ranks - 1` consecutive steps.
+fn alltoall_fluid(ranks: usize, bytes: u64) -> f64 {
+    let mut spec = presets::xt4();
+    spec.torus_dims = fit_dims(ranks);
+    let mut platform = PlatformConfig::new(spec, ExecMode::SN, ranks);
+    platform.contention = ContentionModel::Fluid;
+    let mut cfg = WorldConfig::new(platform);
+    cfg.collectives = CollectiveMode::Algorithmic;
+    simulate(0, cfg, move |mpi| async move {
+        let p = mpi.comm().size();
+        let msgs = (0..p).map(|_| Message::of_bytes(bytes)).collect();
+        mpi.comm().alltoall(msgs).await;
+    })
+    .end_time
+    .as_secs_f64()
+}
+
+fn bench_alltoall_fluid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alltoall_fluid");
+    g.sample_size(10);
+    let sizes: &[(usize, &str)] = if quick() {
+        &[(32, "ranks_256"), (64, "ranks_1024")]
+    } else {
+        &[(256, "ranks_256"), (1_024, "ranks_1024")]
+    };
+    for &(ranks, label) in sizes {
+        g.bench_function(label, |b| {
+            b.iter(|| alltoall_fluid(ranks, 64 * 1024));
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     simulator,
     bench_event_loop,
     bench_message_rate,
     bench_allreduce,
-    bench_figure_quick
+    bench_figure_quick,
+    bench_fluid_pool,
+    bench_alltoall_fluid
 );
 criterion_main!(simulator);

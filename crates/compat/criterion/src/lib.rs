@@ -2,8 +2,13 @@
 //! targets (`benchmark_group`, `bench_function`, `bench_with_input`,
 //! `Throughput`, `BenchmarkId`, the `criterion_group!`/`criterion_main!`
 //! macros). Each benchmark runs a short fixed schedule (1 warmup + up to 16
-//! timed iterations, capped at ~200 ms) and prints mean wall-clock time plus
-//! derived throughput — no statistics engine, no HTML reports.
+//! timed iterations, capped at ~200 ms) and prints **median** wall-clock time
+//! plus derived throughput — no statistics engine, no HTML reports.
+//!
+//! Environment knobs (used by `scripts/bench.sh`):
+//!
+//! * `XTSIM_BENCH_ONESHOT=1` — skip the warmup and run exactly one timed
+//!   iteration per benchmark (for capturing baselines of very slow benches).
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -86,8 +91,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let mut b = Bencher {
-            elapsed: Duration::ZERO,
-            iters: 0,
+            samples: Vec::new(),
         };
         f(&mut b);
         self.report(&id.to_string(), &b);
@@ -99,8 +103,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let mut b = Bencher {
-            elapsed: Duration::ZERO,
-            iters: 0,
+            samples: Vec::new(),
         };
         f(&mut b, input);
         self.report(&id.label, &b);
@@ -110,48 +113,60 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 
     fn report(&self, id: &str, b: &Bencher) {
-        if b.iters == 0 {
+        if b.samples.is_empty() {
             println!("{}/{id}: no iterations", self.name);
             return;
         }
-        let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+        let median = b.median().as_secs_f64();
         let rate = match self.throughput {
             Some(Throughput::Elements(n)) => {
-                format!("  {:.3e} elem/s", n as f64 / per_iter)
+                format!("  {:.3e} elem/s", n as f64 / median)
             }
             Some(Throughput::Bytes(n)) => {
-                format!("  {:.3} MB/s", n as f64 / per_iter / 1e6)
+                format!("  {:.3} MB/s", n as f64 / median / 1e6)
             }
             None => String::new(),
         };
         println!(
-            "{}/{id}: {:.3} ms/iter over {} iters{rate}",
+            "{}/{id}: {:.3} ms/iter (median of {} iters){rate}",
             self.name,
-            per_iter * 1e3,
-            b.iters
+            median * 1e3,
+            b.samples.len()
         );
     }
 }
 
 /// Timing driver handed to each benchmark closure.
 pub struct Bencher {
-    elapsed: Duration,
-    iters: u64,
+    samples: Vec<Duration>,
 }
 
 impl Bencher {
     /// Run `f` on the shim schedule: one warmup, then timed iterations until
-    /// 16 have run or ~200 ms has elapsed.
+    /// 16 have run or ~200 ms has elapsed. With `XTSIM_BENCH_ONESHOT=1` the
+    /// warmup is skipped and exactly one timed iteration runs.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if std::env::var_os("XTSIM_BENCH_ONESHOT").is_some_and(|v| v == "1") {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+            return;
+        }
         black_box(f());
         let budget = Duration::from_millis(200);
         let start = Instant::now();
-        while self.iters < 16 && start.elapsed() < budget {
+        while self.samples.len() < 16 && start.elapsed() < budget {
             let t0 = Instant::now();
             black_box(f());
-            self.elapsed += t0.elapsed();
-            self.iters += 1;
+            self.samples.push(t0.elapsed());
         }
+    }
+
+    /// Median of the timed iterations (zero when none ran).
+    fn median(&self) -> Duration {
+        let mut s = self.samples.clone();
+        s.sort_unstable();
+        s.get(s.len() / 2).copied().unwrap_or(Duration::ZERO)
     }
 }
 

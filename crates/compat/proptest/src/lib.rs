@@ -263,6 +263,34 @@ pub mod collection {
     }
 }
 
+/// Optional-value strategies (`prop::option::of`).
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `of(elem)` — `None` about a quarter of the time, `Some(elem)` otherwise
+    /// (mirrors upstream proptest's default weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
 /// The import surface `use proptest::prelude::*` provides.
 pub mod prelude {
     pub use crate as prop;

@@ -6,16 +6,23 @@
 //! a strictly deterministic order:
 //!
 //! 1. run every ready task (FIFO) at the current instant;
-//! 2. pop the earliest event `(time, seq)` from the heap, advance the clock,
-//!    fire it (which typically wakes a task);
+//! 2. pop the earliest pending event, advance the clock, fire it (which
+//!    typically wakes a task);
 //! 3. repeat until no events and no ready tasks remain.
 //!
-//! Ties on `time` break on the monotone `seq` counter, so two runs of the
-//! same program produce identical schedules.
+//! Events at the same instant fire in the order they were scheduled, so two
+//! runs of the same program produce identical schedules.
+//!
+//! The event queue is **time-bucketed**: a min-heap holds each *distinct*
+//! pending timestamp once, and a side table maps the timestamp to the FIFO of
+//! actions scheduled for it. Draining a burst of same-time events (an alltoall
+//! step completing, a barrier releasing) then costs one heap pop for the whole
+//! bucket instead of one sift-down per event, and scheduling into an existing
+//! instant is O(1).
 
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -34,26 +41,139 @@ pub(crate) enum EventAction {
     Call(Box<dyn FnOnce()>),
 }
 
-struct EventEntry {
-    time: SimTime,
-    seq: u64,
-    action: EventAction,
+/// Identifies one registered flow source (a `FluidPool`) for deferred
+/// same-instant ordering of its completion events.
+pub(crate) type FlowSourceId = usize;
+
+/// One pending instant's events.
+///
+/// The `fifo` lane holds ordinary events in schedule order (their seq is
+/// recorded at push time and is monotone, so the deque is seq-sorted). The
+/// `flows` lane holds fluid-model completion events, grouped per source and
+/// ordered by flow uid; their effective seq is *dynamic* — the seq of the
+/// owning pool's most recent rebalance — because the legacy rebalancer
+/// re-enqueued every completion event of the pool on every rebalance, which
+/// placed them behind any ordinary event scheduled earlier. Replaying that
+/// ordering from a single per-pool counter keeps schedules bit-identical to
+/// the historical global-rebalance implementation without ever re-queueing
+/// an event whose ETA did not move.
+#[derive(Default)]
+struct Bucket {
+    fifo: VecDeque<(u64, EventAction)>,
+    flows: Vec<(FlowSourceId, std::collections::BTreeMap<u64, EventAction>)>,
 }
 
-impl PartialEq for EventEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl Bucket {
+    fn is_empty(&self) -> bool {
+        self.fifo.is_empty() && self.flows.iter().all(|(_, m)| m.is_empty())
     }
 }
-impl Eq for EventEntry {}
-impl PartialOrd for EventEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// Time-bucketed pending-event queue.
+///
+/// Invariant: a timestamp is in `times` **iff** `buckets` holds a non-empty
+/// bucket for it, and it appears in `times` exactly once. Draining a burst of
+/// same-time events costs one heap pop for the whole bucket instead of one
+/// sift-down per event, and scheduling into an existing instant is O(1).
+#[derive(Default)]
+struct EventQueue {
+    /// Distinct pending timestamps (min-heap).
+    times: BinaryHeap<Reverse<SimTime>>,
+    buckets: HashMap<SimTime, Bucket>,
+    /// Drained buckets kept for reuse, so steady-state scheduling is
+    /// allocation-free.
+    spare: Vec<Bucket>,
+    len: usize,
 }
-impl Ord for EventEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+
+impl EventQueue {
+    fn bucket_for(&mut self, time: SimTime) -> &mut Bucket {
+        self.len += 1;
+        match self.buckets.entry(time) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let bucket = self.spare.pop().unwrap_or_default();
+                self.times.push(Reverse(time));
+                e.insert(bucket)
+            }
+        }
+    }
+
+    fn push(&mut self, time: SimTime, seq: u64, action: EventAction) {
+        self.bucket_for(time).fifo.push_back((seq, action));
+    }
+
+    /// Queue a fluid completion event for `(source, uid)`. A stale entry for
+    /// the same flow at the same instant (superseded generation) is simply
+    /// overwritten — firing it once is equivalent to firing a no-op twice.
+    fn push_flow(&mut self, time: SimTime, source: FlowSourceId, uid: u64, action: EventAction) {
+        let bucket = self.bucket_for(time);
+        if let Some((_, m)) = bucket.flows.iter_mut().find(|(s, _)| *s == source) {
+            if m.insert(uid, action).is_some() {
+                self.len -= 1;
+            }
+            return;
+        }
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(uid, action);
+        bucket.flows.push((source, m));
+    }
+
+    /// Remove and return the earliest event. Within an instant, ordinary
+    /// events fire in schedule order and each pool's completions fire in uid
+    /// order at the position of the pool's latest rebalance (`flow_seq`).
+    fn pop(&mut self, flow_seq: &[u64]) -> Option<(SimTime, EventAction)> {
+        let &Reverse(time) = self.times.peek()?;
+        let bucket = self.buckets.get_mut(&time).expect("bucket for queued time");
+        // Pick the lane holding the smallest effective seq.
+        let fifo_seq = bucket.fifo.front().map(|&(s, _)| s);
+        let mut best_flow: Option<(u64, usize)> = None; // (pool seq, index in flows)
+        for (i, (source, m)) in bucket.flows.iter().enumerate() {
+            if !m.is_empty() {
+                let s = flow_seq[*source];
+                if best_flow.is_none_or(|(bs, _)| s < bs) {
+                    best_flow = Some((s, i));
+                }
+            }
+        }
+        let action = match (fifo_seq, best_flow) {
+            (Some(fs), Some((ps, i)) ) if ps < fs => {
+                let m = &mut bucket.flows[i].1;
+                let uid = *m.keys().next().expect("non-empty flow lane");
+                m.remove(&uid).expect("present")
+            }
+            (Some(_), _) => bucket.fifo.pop_front().expect("non-empty fifo").1,
+            (None, Some((_, i))) => {
+                let m = &mut bucket.flows[i].1;
+                let uid = *m.keys().next().expect("non-empty flow lane");
+                m.remove(&uid).expect("present")
+            }
+            (None, None) => unreachable!("queued time with empty bucket"),
+        };
+        self.len -= 1;
+        if bucket.is_empty() {
+            let mut empty = self.buckets.remove(&time).expect("bucket present");
+            self.times.pop();
+            if self.spare.len() < 32 {
+                empty.fifo.clear();
+                empty.flows.clear();
+                self.spare.push(empty);
+            }
+        }
+        Some((time, action))
+    }
+
+    /// Pre-size for `additional` more events beyond the current count.
+    fn reserve(&mut self, additional: usize) {
+        self.times.reserve(additional);
+        self.buckets.reserve(additional);
+    }
+
+    fn clear(&mut self) {
+        self.times.clear();
+        self.buckets.clear();
+        self.spare.clear();
+        self.len = 0;
     }
 }
 
@@ -77,8 +197,11 @@ impl std::task::Wake for TaskWaker {
 
 pub(crate) struct SimCore {
     now: Cell<SimTime>,
+    events: RefCell<EventQueue>,
+    /// Monotone scheduling counter; orders same-instant events.
     seq: Cell<u64>,
-    events: RefCell<BinaryHeap<Reverse<EventEntry>>>,
+    /// Per flow source: seq of its most recent rebalance (see `Bucket`).
+    flow_seq: RefCell<Vec<u64>>,
     tasks: RefCell<Vec<Option<LocalFuture>>>,
     /// Tasks spawned while the executor is mid-poll; drained before the next step.
     staged: RefCell<Vec<(usize, LocalFuture)>>,
@@ -102,9 +225,39 @@ impl SimCore {
     pub(crate) fn schedule(&self, time: SimTime, action: EventAction) {
         let time = time.max(self.now.get());
         let seq = self.next_seq();
-        self.events
-            .borrow_mut()
-            .push(Reverse(EventEntry { time, seq, action }));
+        self.events.borrow_mut().push(time, seq, action);
+    }
+
+    /// Register a fluid pool as a flow source and return its id.
+    pub(crate) fn register_flow_source(&self) -> FlowSourceId {
+        let mut fs = self.flow_seq.borrow_mut();
+        fs.push(0);
+        fs.len() - 1
+    }
+
+    /// Record that `source` just rebalanced: its pending completion events
+    /// now order *after* every event scheduled so far at their instants.
+    pub(crate) fn touch_flow_source(&self, source: FlowSourceId) {
+        let seq = self.next_seq();
+        self.flow_seq.borrow_mut()[source] = seq;
+    }
+
+    /// Schedule a fluid completion event for `(source, uid)` at `time`.
+    pub(crate) fn schedule_flow(
+        &self,
+        time: SimTime,
+        source: FlowSourceId,
+        uid: u64,
+        action: EventAction,
+    ) {
+        let time = time.max(self.now.get());
+        self.events.borrow_mut().push_flow(time, source, uid, action);
+    }
+
+    /// Pre-size the event queue for `additional` more events (used by the
+    /// fluid model, which keeps one live completion event per active flow).
+    pub(crate) fn reserve_events(&self, additional: usize) {
+        self.events.borrow_mut().reserve(additional);
     }
 
     fn stage_task(&self, fut: LocalFuture) -> usize {
@@ -286,8 +439,9 @@ impl Sim {
     pub fn new(seed: u64) -> Sim {
         let core = Rc::new(SimCore {
             now: Cell::new(SimTime::ZERO),
+            events: RefCell::new(EventQueue::default()),
             seq: Cell::new(0),
-            events: RefCell::new(BinaryHeap::new()),
+            flow_seq: RefCell::new(Vec::new()),
             tasks: RefCell::new(Vec::new()),
             staged: RefCell::new(Vec::new()),
             ready: Arc::new(Mutex::new(VecDeque::new())),
@@ -347,12 +501,15 @@ impl Sim {
                 core.commit_staged();
             }
             // Phase 2: advance time to the next event.
-            let entry = core.events.borrow_mut().pop();
+            let entry = {
+                let flow_seq = core.flow_seq.borrow();
+                core.events.borrow_mut().pop(&flow_seq)
+            };
             match entry {
-                Some(Reverse(ev)) => {
-                    debug_assert!(ev.time >= core.now());
-                    core.now.set(ev.time);
-                    match ev.action {
+                Some((time, action)) => {
+                    debug_assert!(time >= core.now());
+                    core.now.set(time);
+                    match action {
                         EventAction::Wake(w) => w.wake(),
                         EventAction::Call(f) => f(),
                     }

@@ -40,7 +40,7 @@ pub mod trace;
 pub use channel::{channel, oneshot, OneshotReceiver, OneshotSender, Receiver, RecvError, Sender};
 pub use combinators::{join2, join_all, select2, Either, Join2, JoinAll, Select2};
 pub use executor::{JoinHandle, Sim, SimHandle, Sleep, YieldNow};
-pub use fluid::{FluidPool, LinkId, Transfer};
+pub use fluid::{FluidPool, LinkId, RebalanceStats, Transfer};
 pub use resource::FifoStation;
 pub use sync::{Notify, Semaphore, SemaphoreGuard, SimBarrier};
 pub use trace::{Span, SpanCategory, TraceData, TraceEvent, TraceSummary, Tracer};

@@ -24,23 +24,29 @@ use crate::time::{SimDuration, SimTime};
 #[derive(Clone)]
 pub struct FifoStation {
     handle: SimHandle,
+    state: Rc<RefCell<StationState>>,
+}
+
+struct StationState {
     /// Free-at times, one entry per server (min-heap).
-    free_at: Rc<RefCell<BinaryHeap<Reverse<SimTime>>>>,
-    busy_time: Rc<RefCell<SimDuration>>,
+    free_at: BinaryHeap<Reverse<SimTime>>,
+    busy_time: SimDuration,
 }
 
 impl FifoStation {
     /// Create a station with `servers` identical servers.
     pub fn new(handle: SimHandle, servers: usize) -> Self {
         assert!(servers >= 1, "a station needs at least one server");
-        let mut heap = BinaryHeap::with_capacity(servers);
+        let mut free_at = BinaryHeap::with_capacity(servers);
         for _ in 0..servers {
-            heap.push(Reverse(SimTime::ZERO));
+            free_at.push(Reverse(SimTime::ZERO));
         }
         FifoStation {
             handle,
-            free_at: Rc::new(RefCell::new(heap)),
-            busy_time: Rc::new(RefCell::new(SimDuration::ZERO)),
+            state: Rc::new(RefCell::new(StationState {
+                free_at,
+                busy_time: SimDuration::ZERO,
+            })),
         }
     }
 
@@ -51,12 +57,12 @@ impl FifoStation {
     pub async fn serve(&self, service: SimDuration) -> SimDuration {
         let now = self.handle.now();
         let (end, waited) = {
-            let mut heap = self.free_at.borrow_mut();
-            let Reverse(free) = heap.pop().expect("station has at least one server");
+            let mut st = self.state.borrow_mut();
+            let Reverse(free) = st.free_at.pop().expect("station has at least one server");
             let start = free.max(now);
             let end = start + service;
-            heap.push(Reverse(end));
-            *self.busy_time.borrow_mut() += service;
+            st.free_at.push(Reverse(end));
+            st.busy_time += service;
             (end, start.duration_since(now))
         };
         self.handle.sleep_until(end).await;
@@ -65,14 +71,14 @@ impl FifoStation {
 
     /// Instant at which a request arriving now would *start* service.
     pub fn next_start(&self) -> SimTime {
-        let heap = self.free_at.borrow();
-        let Reverse(free) = *heap.peek().expect("non-empty");
+        let st = self.state.borrow();
+        let Reverse(free) = *st.free_at.peek().expect("non-empty");
         free.max(self.handle.now())
     }
 
     /// Total service time dispensed so far (for utilization reporting).
     pub fn busy_time(&self) -> SimDuration {
-        *self.busy_time.borrow()
+        self.state.borrow().busy_time
     }
 }
 

@@ -296,10 +296,11 @@ pub fn capture_end() -> Option<TraceData> {
 
 /// Record a completed span into this thread's active capture (no-op when
 /// capture is inactive).
+///
+/// One thread-local access: the [`capture_active`] fast-path flag is for
+/// instrumentation sites to branch on *before* constructing a [`Span`];
+/// checking it again here would just be a second TLS hit.
 pub fn emit_span(span: Span) {
-    if !capture_active() {
-        return;
-    }
     CAPTURE.with(|c| {
         if let Some(st) = c.borrow_mut().as_mut() {
             if st.spans.len() >= st.limit {

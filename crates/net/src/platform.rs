@@ -21,10 +21,10 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use xtsim_des::trace::{self, SpanCategory};
-use xtsim_des::{join2, FifoStation, FluidPool, LinkId, SimDuration, SimHandle};
+use xtsim_des::{join2, FifoStation, FluidPool, LinkId, RebalanceStats, SimDuration, SimHandle};
 use xtsim_machine::{ExecMode, MachineSpec, WorkPacket};
 
-use crate::torus::{NodeId, Torus3D};
+use crate::torus::{NodeId, Torus3D, TorusLink};
 
 /// An MPI-style process index on the platform.
 pub type Rank = usize;
@@ -120,6 +120,10 @@ struct PlatformInner {
     link_load: RefCell<Vec<u32>>,
     inj_load: RefCell<Vec<u32>>,
     ej_load: RefCell<Vec<u32>>,
+    /// Reusable per-message route buffers (torus hops, fluid link route):
+    /// the transmit hot path must not allocate per message. Never held
+    /// across an await.
+    route_scratch: RefCell<(Vec<TorusLink>, Vec<LinkId>)>,
     stats: RefCell<TrafficStats>,
 }
 
@@ -198,6 +202,7 @@ impl Platform {
                 link_load: RefCell::new(vec![0; torus.link_count()]),
                 inj_load: RefCell::new(vec![0; used_nodes]),
                 ej_load: RefCell::new(vec![0; used_nodes]),
+                route_scratch: RefCell::new((Vec::new(), Vec::new())),
                 torus,
                 rank_node,
                 nic,
@@ -241,6 +246,17 @@ impl Platform {
     /// Traffic statistics so far.
     pub fn stats(&self) -> TrafficStats {
         *self.inner.stats.borrow()
+    }
+
+    /// Work counters of the network fluid pool's incremental rebalancer
+    /// (all zero under the Counting model, which has no pool). See
+    /// EXPERIMENTS.md, "Profiling the simulator".
+    pub fn net_rebalance_stats(&self) -> RebalanceStats {
+        self.inner
+            .net_pool
+            .as_ref()
+            .map(|p| p.rebalance_stats())
+            .unwrap_or_default()
     }
 
     /// Torus topology.
@@ -389,30 +405,49 @@ impl Platform {
             match inner.contention {
                 ContentionModel::Fluid => {
                     let pool = inner.net_pool.as_ref().expect("fluid pool present");
-                    let mut route: Vec<LinkId> = Vec::with_capacity(hops + 2);
-                    route.push(inner.inj[src_node]);
-                    for l in inner.torus.route(src_node, dst_node) {
-                        route.push(inner.links[l.index()]);
-                    }
-                    route.push(inner.ej[dst_node]);
-                    pool.transfer(&route, bytes as f64, None).await;
+                    // Build the fluid route in the reusable scratch; the
+                    // transfer copies it, so the borrow ends before the await.
+                    let transfer = {
+                        let mut scratch = inner.route_scratch.borrow_mut();
+                        let (hop_buf, route_buf) = &mut *scratch;
+                        hop_buf.clear();
+                        inner.torus.route_into(src_node, dst_node, hop_buf);
+                        route_buf.clear();
+                        route_buf.reserve(hop_buf.len() + 2);
+                        route_buf.push(inner.inj[src_node]);
+                        for l in hop_buf.iter() {
+                            route_buf.push(inner.links[l.index()]);
+                        }
+                        route_buf.push(inner.ej[dst_node]);
+                        pool.transfer(route_buf, bytes as f64, None)
+                    };
+                    transfer.await;
                 }
                 ContentionModel::Counting => {
-                    let t = self.counting_transfer_time(src_node, dst_node, bytes);
-                    // Register load for the duration of the transfer.
-                    let route = inner.torus.route(src_node, dst_node);
-                    {
+                    // Sample the bottleneck and register load in one pass
+                    // over the route (scratch-buffered, allocation-free).
+                    let t = {
+                        let mut scratch = inner.route_scratch.borrow_mut();
+                        let (hop_buf, _) = &mut *scratch;
+                        hop_buf.clear();
+                        inner.torus.route_into(src_node, dst_node, hop_buf);
+                        let t = self.counting_transfer_time(src_node, dst_node, bytes, hop_buf);
                         let mut ll = inner.link_load.borrow_mut();
-                        for l in &route {
+                        for l in hop_buf.iter() {
                             ll[l.index()] += 1;
                         }
                         inner.inj_load.borrow_mut()[src_node] += 1;
                         inner.ej_load.borrow_mut()[dst_node] += 1;
-                    }
+                        t
+                    };
                     inner.handle.sleep(t).await;
                     {
+                        let mut scratch = inner.route_scratch.borrow_mut();
+                        let (hop_buf, _) = &mut *scratch;
+                        hop_buf.clear();
+                        inner.torus.route_into(src_node, dst_node, hop_buf);
                         let mut ll = inner.link_load.borrow_mut();
-                        for l in &route {
+                        for l in hop_buf.iter() {
                             ll[l.index()] -= 1;
                         }
                         inner.inj_load.borrow_mut()[src_node] -= 1;
@@ -427,8 +462,15 @@ impl Platform {
     }
 
     /// Counting-model bandwidth phase duration: the message runs at the
-    /// bottleneck of its route with the load sampled at start (self included).
-    fn counting_transfer_time(&self, src_node: NodeId, dst_node: NodeId, bytes: u64) -> SimDuration {
+    /// bottleneck of its route (`hops`, precomputed by the caller) with the
+    /// load sampled at start (self included).
+    fn counting_transfer_time(
+        &self,
+        src_node: NodeId,
+        dst_node: NodeId,
+        bytes: u64,
+        hops: &[TorusLink],
+    ) -> SimDuration {
         let inner = &self.inner;
         let spec = &inner.spec;
         let inj_dir = spec.nic.injection_bw_gbs * 1e9 / 2.0;
@@ -438,7 +480,7 @@ impl Platform {
         let mut max_link_load = 1u32;
         {
             let ll = inner.link_load.borrow();
-            for l in inner.torus.route(src_node, dst_node) {
+            for l in hops {
                 max_link_load = max_link_load.max(ll[l.index()] + 1);
             }
         }

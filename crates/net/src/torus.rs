@@ -137,6 +137,13 @@ impl Torus3D {
     /// links a packet traverses. Empty when `a == b`.
     pub fn route(&self, a: NodeId, b: NodeId) -> Vec<TorusLink> {
         let mut links = Vec::with_capacity(self.hops(a, b));
+        self.route_into(a, b, &mut links);
+        links
+    }
+
+    /// Allocation-free variant of [`route`](Self::route): appends the route
+    /// to `links`, which the caller clears and reuses across messages.
+    pub fn route_into(&self, a: NodeId, b: NodeId, links: &mut Vec<TorusLink>) {
         let mut cur = self.coords(a);
         let target = self.coords(b);
         for dim in 0..3 {
@@ -161,7 +168,6 @@ impl Torus3D {
             }
         }
         debug_assert_eq!(cur, target);
-        links
     }
 
     /// Average minimal hop count over random node pairs — the expected

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Run the simulator stress benches and record the median wall-clock per bench
+# as JSON (default: BENCH_PR4.json in the repo root).
+#
+# Usage:
+#   scripts/bench.sh [--quick] [--oneshot] [--out FILE] [--before FILE]
+#
+#   --quick    shrink the stress benches (XTSIM_BENCH_QUICK=1) so the whole
+#              suite finishes in seconds; used by the CI smoke.
+#   --oneshot  one timed iteration per bench, no warmup (XTSIM_BENCH_ONESHOT=1);
+#              for capturing baselines of very slow configurations.
+#   --out      output JSON path (default BENCH_PR4.json).
+#   --before   a previous --out file; the new run is recorded as "after_ms"
+#              next to the old file's numbers ("before_ms") with a "speedup"
+#              ratio per bench.
+#
+# Output shape (validated by scripts/ci.sh):
+#   {"schema": "xtsim-bench-v1", "quick": false, "benches":
+#     {"fluid_pool/flows_10k": {"median_ms": 12.3, "iters": 5}, ...}}
+# or, with --before:
+#   {... "benches": {"name": {"before_ms": 98.0, "after_ms": 12.3,
+#                             "speedup": 7.9}, ...}}
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH_PR4.json"
+before=""
+quick=0
+oneshot=0
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --quick) quick=1 ;;
+        --oneshot) oneshot=1 ;;
+        --out) out="$2"; shift ;;
+        --before) before="$2"; shift ;;
+        *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+env_vars=()
+[ "$quick" = 1 ] && env_vars+=(XTSIM_BENCH_QUICK=1)
+[ "$oneshot" = 1 ] && env_vars+=(XTSIM_BENCH_ONESHOT=1)
+
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+echo "== cargo bench (simulator) ==" >&2
+env "${env_vars[@]}" cargo bench -p xtsim-bench --bench simulator | tee "$log" >&2
+
+python3 - "$log" "$out" "$quick" "$before" <<'EOF'
+import json, re, sys
+
+log_path, out_path, quick, before_path = sys.argv[1:5]
+pat = re.compile(
+    r"^([A-Za-z0-9_]+/[A-Za-z0-9_./-]+): ([0-9.eE+-]+) ms/iter \(median of (\d+) iters\)"
+)
+benches = {}
+for line in open(log_path):
+    m = pat.match(line.strip())
+    if m:
+        benches[m.group(1)] = {
+            "median_ms": float(m.group(2)),
+            "iters": int(m.group(3)),
+        }
+if not benches:
+    sys.exit("bench.sh: no bench results parsed from cargo bench output")
+
+record = {"schema": "xtsim-bench-v1", "quick": quick == "1"}
+if before_path:
+    before = json.load(open(before_path))["benches"]
+    merged = {}
+    for name, b in benches.items():
+        entry = {"after_ms": b["median_ms"]}
+        prev = before.get(name)
+        if prev is not None:
+            prev_ms = prev.get("median_ms", prev.get("after_ms"))
+            entry["before_ms"] = prev_ms
+            if b["median_ms"] > 0:
+                entry["speedup"] = round(prev_ms / b["median_ms"], 2)
+        merged[name] = entry
+    record["benches"] = merged
+else:
+    record["benches"] = benches
+with open(out_path, "w") as f:
+    json.dump(record, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path} ({len(benches)} benches)")
+EOF

@@ -51,4 +51,32 @@ for path in glob.glob(f"{out}/traces/*.trace.json"):
 EOF
 rm -rf "$out"
 
+echo "== bench smoke (quick stress benches + BENCH_PR4.json shape) =="
+out="$(mktemp -d)"
+scripts/bench.sh --quick --out "$out/bench.json" >/dev/null
+python3 - "$out/bench.json" <<'EOF'
+import json, sys
+rec = json.load(open(sys.argv[1]))
+assert rec["schema"] == "xtsim-bench-v1", f"bad schema: {rec.get('schema')}"
+assert rec["quick"] is True, "quick run must record quick=true"
+benches = rec["benches"]
+for name in (
+    "fluid_pool/flows_1k",
+    "fluid_pool/flows_10k",
+    "alltoall_fluid/ranks_256",
+    "alltoall_fluid/ranks_1024",
+):
+    b = benches.get(name)
+    assert b, f"missing bench {name}"
+    ms = b.get("median_ms", b.get("after_ms"))
+    assert ms and ms > 0, f"{name}: no positive timing"
+    assert b.get("iters", 1) >= 1, f"{name}: no iterations"
+# The committed before/after record must keep the same shape.
+committed = json.load(open("BENCH_PR4.json"))
+assert committed["schema"] == "xtsim-bench-v1"
+for name, b in committed["benches"].items():
+    assert "after_ms" in b or "median_ms" in b, f"BENCH_PR4.json {name}: no timing"
+EOF
+rm -rf "$out"
+
 echo "CI gate passed."

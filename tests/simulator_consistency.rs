@@ -115,6 +115,28 @@ fn end_to_end_determinism() {
     }
 }
 
+/// Serial and multi-worker sweeps of a fluid-model figure stay
+/// byte-identical: the component-local rebalancer runs inside each job's
+/// private single-threaded world, so `--jobs N` must not perturb a single
+/// bit of the assembled output.
+#[test]
+fn serial_and_parallel_fluid_sweeps_are_byte_identical() {
+    use xt4_repro::xtsim::figures::figure;
+    use xt4_repro::xtsim::report::Scale;
+    use xt4_repro::xtsim::sweep::{run_figure, SweepConfig};
+
+    // fig12 (bidirectional bandwidth) is the heaviest fluid-pool user in
+    // the golden set — many concurrent flows sharing torus links.
+    let fig = figure("fig12").expect("fig12 registered");
+    let serial = run_figure(fig.spec(Scale::Quick), &SweepConfig::serial()).0;
+    let parallel = run_figure(fig.spec(Scale::Quick), &SweepConfig::threads(4)).0;
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&parallel).unwrap(),
+        "fig12 output depends on --jobs"
+    );
+}
+
 /// Collectives preserve data across every mode the figures use.
 #[test]
 fn collective_data_integrity_across_modes() {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # xtsim-apps — petascale application proxies
 //!
 //! Proxy implementations of the five applications the paper benchmarks

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Regenerate the paper's tables and figures on the simulated platform.
 //!
 //! ```text

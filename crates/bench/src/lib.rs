@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # xtsim-bench — benchmark harness
 //!
 //! * `cargo run -p xtsim-bench --bin figures --release` regenerates every

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `criterion`: enough API for this workspace's bench
 //! targets (`benchmark_group`, `bench_function`, `bench_with_input`,
 //! `Throughput`, `BenchmarkId`, the `criterion_group!`/`criterion_main!`

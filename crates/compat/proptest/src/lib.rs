@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `proptest`, covering the macro surface this
 //! workspace's property tests use: the [`proptest!`] block with
 //! `#![proptest_config(..)]`, `arg in strategy` bindings, range / tuple /

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `rand`, scoped to what this workspace uses:
 //! [`RngCore`], [`Rng::gen_range`] over half-open ranges, [`SeedableRng`]'s
 //! `seed_from_u64`, and [`seq::SliceRandom::shuffle`]. The concrete generator

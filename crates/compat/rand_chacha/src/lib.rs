@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `rand_chacha`: a genuine ChaCha8 stream generator
 //! (D. J. Bernstein's ChaCha with 8 double-rounds) behind the shim `rand`
 //! traits. Deterministic, `Clone`, with independent streams per seed — the

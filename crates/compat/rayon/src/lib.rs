@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `rayon`, scoped to `slice.par_chunks_mut(n)
 //! .enumerate().for_each(f)` — the one pattern this workspace's kernels use.
 //! Work is executed on `std::thread::scope` workers pulling chunks from a

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `serde`, scoped to what this workspace needs.
 //!
 //! The container this repository builds in has no crates.io access, so the

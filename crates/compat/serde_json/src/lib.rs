@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `serde_json`: JSON text in and out of the shim
 //! [`serde::Value`] model.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # xtsim — Cray XT4 evaluation reproduction, facade crate
 //!
 //! Re-exports the whole stack and hosts the experiment registry that

@@ -47,6 +47,8 @@ impl<F: Future> MaybeDone<F> {
     }
 
     fn take(self: Pin<&mut Self>) -> F::Output {
+        // SAFETY: only the completed output is moved out; in the `Done` state
+        // no pinned future remains, and the `Pending` arm never touches it.
         unsafe {
             let this = self.get_unchecked_mut();
             match this {
@@ -75,6 +77,8 @@ impl<A: Future, B: Future> Future for Join2<A, B> {
             )
         };
         if a_done && b_done {
+            // SAFETY: same pin projection as above; both slots are `Done`, so
+            // `take` moves only the outputs, never a pinned future.
             unsafe {
                 let this = self.get_unchecked_mut();
                 Poll::Ready((

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # xtsim-hpcc — the HPC Challenge suite on the simulated XT platform
 //!
 //! Reproduces the paper's entire micro-benchmark section (§5):

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # xtsim-kernels — real, executing HPC kernels
 //!
 //! Honest Rust implementations of the numerical kernels the paper's

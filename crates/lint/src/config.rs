@@ -1,0 +1,352 @@
+//! Lint configuration: a hand-rolled parser for the small TOML subset
+//! `lint.toml` uses, plus the `*`/`**` glob matcher path scoping is built
+//! on. Everything path-shaped in the rule catalog — which crates count as
+//! simulator code, which files are DES hot paths, which paths may read the
+//! wall clock — is data here, not hardcode, so exemptions are reviewable in
+//! one place.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Files never scanned (fixtures with intentional findings, build output).
+    pub exclude: Vec<Glob>,
+    /// Paths holding test/bench/example code: determinism and hot-path rules
+    /// don't apply there (tests may use wall clocks and HashMaps freely).
+    pub test_paths: Vec<Glob>,
+    /// Crates whose results feed simulation output; determinism rules
+    /// (`nondet-map-iter`, `wallclock-in-sim`, `ambient-rng`) apply here.
+    pub sim_crates: Vec<Glob>,
+    /// Event-handler / executor hot paths; `panic-in-hot-path` applies here.
+    pub hot_paths: Vec<Glob>,
+    /// Per-rule path allowlists: `[allow.<rule>] paths = [...]`.
+    pub rule_allow: BTreeMap<String, Vec<Glob>>,
+}
+
+impl Config {
+    /// Parse `lint.toml` text.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        let mut section: Vec<String> = Vec::new();
+        let mut lines = text.lines().enumerate();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx + 1;
+            let mut line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            // Multi-line arrays: keep consuming lines until brackets balance.
+            while bracket_balance(&line) > 0 {
+                let Some((_, next)) = lines.next() else {
+                    return Err(ConfigError::at(lineno, "unterminated [list]"));
+                };
+                line.push(' ');
+                line.push_str(strip_comment(next).trim());
+            }
+            if let Some(inner) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = inner.split('.').map(|s| s.trim().to_string()).collect();
+                if section.iter().any(|s| s.is_empty()) {
+                    return Err(ConfigError::at(lineno, "empty section name component"));
+                }
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| ConfigError::at(lineno, "expected `key = value`"))?;
+            let key = key.trim();
+            let values = parse_string_or_list(value.trim())
+                .map_err(|msg| ConfigError::at(lineno, msg))?;
+            let globs = values.iter().map(|p| Glob::new(p)).collect::<Vec<_>>();
+            match (section.as_slice(), key) {
+                ([s], "exclude") if s == "lint" => cfg.exclude = globs,
+                ([s], "test_paths") if s == "lint" => cfg.test_paths = globs,
+                ([s], "sim_crates") if s == "lint" => cfg.sim_crates = globs,
+                ([s], "hot_paths") if s == "lint" => cfg.hot_paths = globs,
+                ([a, rule], "paths") if a == "allow" => {
+                    cfg.rule_allow.insert(rule.clone(), globs);
+                }
+                _ => {
+                    return Err(ConfigError::at(
+                        lineno,
+                        format!("unknown key `{key}` in section [{}]", section.join(".")),
+                    ));
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Is `path` (workspace-relative, `/`-separated) excluded from scanning?
+    pub fn is_excluded(&self, path: &str) -> bool {
+        matches_any(&self.exclude, path)
+    }
+
+    /// Is `path` test/bench/example code?
+    pub fn is_test_path(&self, path: &str) -> bool {
+        matches_any(&self.test_paths, path)
+    }
+
+    /// Is `path` inside a simulator crate?
+    pub fn is_sim_crate(&self, path: &str) -> bool {
+        matches_any(&self.sim_crates, path)
+    }
+
+    /// Is `path` a DES hot path?
+    pub fn is_hot_path(&self, path: &str) -> bool {
+        matches_any(&self.hot_paths, path)
+    }
+
+    /// Is `path` allowlisted for `rule`?
+    pub fn rule_allows(&self, rule: &str, path: &str) -> bool {
+        self.rule_allow
+            .get(rule)
+            .is_some_and(|globs| matches_any(globs, path))
+    }
+}
+
+fn matches_any(globs: &[Glob], path: &str) -> bool {
+    globs.iter().any(|g| g.matches(path))
+}
+
+/// Net `[`/`]` nesting of a line, ignoring brackets inside strings (and any
+/// line that is a `[section]` header, which balances itself).
+fn bracket_balance(line: &str) -> i32 {
+    let mut balance = 0i32;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in line.chars() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            '[' if !in_str => balance += 1,
+            ']' if !in_str => balance -= 1,
+            _ => escaped = false,
+        }
+    }
+    balance
+}
+
+/// Strip a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+/// Parse `"a"` or `["a", "b", ...]` (trailing comma tolerated).
+fn parse_string_or_list(v: &str) -> Result<Vec<String>, String> {
+    if let Some(s) = parse_quoted(v) {
+        return Ok(vec![s]);
+    }
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("expected string or [list], got `{v}`"))?;
+    let mut out = Vec::new();
+    for part in split_top_commas(inner) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.push(parse_quoted(part).ok_or_else(|| format!("expected quoted string, got `{part}`"))?);
+    }
+    Ok(out)
+}
+
+fn split_top_commas(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => escaped = false,
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+fn parse_quoted(s: &str) -> Option<String> {
+    let inner = s.strip_prefix('"')?.strip_suffix('"')?;
+    // lint.toml strings are paths/globs; the only escapes that matter are
+    // `\\` and `\"`.
+    Some(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+/// A config parse error with its line number.
+#[derive(Debug)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl ConfigError {
+    fn at(line: usize, message: impl Into<String>) -> Self {
+        ConfigError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+/// A `/`-separated path glob: `*` matches within one path segment, `**`
+/// matches any number of segments (including zero).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Glob {
+    pattern: String,
+    segments: Vec<Seg>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Seg {
+    /// `**`
+    Any,
+    /// A single segment, possibly containing `*` wildcards.
+    Lit(String),
+}
+
+impl Glob {
+    /// Compile a glob pattern.
+    pub fn new(pattern: &str) -> Glob {
+        let segments = pattern
+            .split('/')
+            .map(|s| if s == "**" { Seg::Any } else { Seg::Lit(s.to_string()) })
+            .collect();
+        Glob { pattern: pattern.to_string(), segments }
+    }
+
+    /// The source pattern.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Match against a `/`-separated relative path.
+    pub fn matches(&self, path: &str) -> bool {
+        let parts: Vec<&str> = path.split('/').collect();
+        match_segs(&self.segments, &parts)
+    }
+}
+
+fn match_segs(segs: &[Seg], parts: &[&str]) -> bool {
+    match segs.first() {
+        None => parts.is_empty(),
+        Some(Seg::Any) => {
+            // `**` swallows 0..=len leading segments.
+            (0..=parts.len()).any(|k| match_segs(&segs[1..], &parts[k..]))
+        }
+        Some(Seg::Lit(pat)) => match parts.first() {
+            Some(first) if match_one(pat, first) => match_segs(&segs[1..], &parts[1..]),
+            _ => false,
+        },
+    }
+}
+
+/// Match one segment against a pattern with `*` wildcards.
+fn match_one(pat: &str, s: &str) -> bool {
+    let p: Vec<char> = pat.chars().collect();
+    let t: Vec<char> = s.chars().collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let (mut star, mut mark) = (usize::MAX, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = pi;
+            mark = ti;
+            pi += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            mark += 1;
+            ti = mark;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glob_star_is_single_segment() {
+        assert!(Glob::new("crates/*/src").matches("crates/des/src"));
+        assert!(!Glob::new("crates/*/src").matches("crates/compat/serde/src"));
+        assert!(Glob::new("*.rs").matches("lib.rs"));
+        assert!(!Glob::new("*.rs").matches("src/lib.rs"));
+    }
+
+    #[test]
+    fn glob_doublestar_spans_segments() {
+        let g = Glob::new("crates/des/**");
+        assert!(g.matches("crates/des/src/fluid.rs"));
+        assert!(g.matches("crates/des/Cargo.toml"));
+        assert!(!g.matches("crates/net/src/lib.rs"));
+        assert!(Glob::new("**/tests/**").matches("crates/des/tests/stress.rs"));
+        assert!(Glob::new("**/fixtures/**").matches("fixtures/a.rs"));
+    }
+
+    #[test]
+    fn exact_path_globs() {
+        let g = Glob::new("crates/core/src/sweep.rs");
+        assert!(g.matches("crates/core/src/sweep.rs"));
+        assert!(!g.matches("crates/core/src/sweep.rs.bak"));
+    }
+
+    #[test]
+    fn parses_sections_lists_and_comments() {
+        let cfg = Config::parse(
+            r#"
+# top comment
+[lint]
+exclude = ["target/**"] # trailing comment
+sim_crates = ["crates/des/**", "crates/net/**"]
+test_paths = ["**/tests/**"]
+hot_paths = "crates/des/src/fluid.rs"
+
+[allow.wallclock-in-sim]
+paths = ["crates/compat/criterion/**"]
+"#,
+        )
+        .unwrap();
+        assert!(cfg.is_excluded("target/debug/build.rs"));
+        assert!(cfg.is_sim_crate("crates/net/src/platform.rs"));
+        assert!(cfg.is_test_path("crates/des/tests/stress.rs"));
+        assert!(cfg.is_hot_path("crates/des/src/fluid.rs"));
+        assert!(cfg.rule_allows("wallclock-in-sim", "crates/compat/criterion/src/lib.rs"));
+        assert!(!cfg.rule_allows("wallclock-in-sim", "crates/core/src/sweep.rs"));
+        assert!(!cfg.rule_allows("ambient-rng", "crates/compat/criterion/src/lib.rs"));
+    }
+
+    #[test]
+    fn rejects_unknown_keys_with_line_numbers() {
+        let err = Config::parse("[lint]\nbogus = \"x\"\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"));
+    }
+}

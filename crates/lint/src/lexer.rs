@@ -1,0 +1,465 @@
+//! A small hand-rolled Rust lexer: just enough token structure for
+//! pattern-based lints, with correct handling of the lexical features that
+//! would otherwise cause false positives — line and (nested) block comments,
+//! cooked and raw strings, byte strings, char literals vs. lifetimes, and
+//! raw identifiers.
+//!
+//! The lexer never fails: unterminated literals are closed at end of input
+//! so a half-edited file still produces a usable token stream.
+
+/// What a token is. Literal *contents* are only kept where a rule needs
+/// them (comments carry allow/SAFETY annotations; identifiers drive the
+/// pattern engine).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`r#raw` identifiers are stored without `r#`).
+    Ident(String),
+    /// Lifetime such as `'a` (name stored without the quote).
+    Lifetime(String),
+    /// Integer or float literal (verbatim text).
+    Num(String),
+    /// String literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`.
+    Str,
+    /// Char or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// `// …` comment (text after `//`, without the newline).
+    LineComment(String),
+    /// `/* … */` comment (inner text; nested comments flattened).
+    BlockComment(String),
+    /// Any other single character of punctuation: `. : ; , ( ) [ ] { } …`.
+    Punct(char),
+}
+
+/// A token plus its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True iff this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+
+    /// True iff this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+
+    /// True for comment tokens.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.tok, Tok::LineComment(_) | Tok::BlockComment(_))
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Tokenize `src`. Comments are kept in the stream (rules that don't need
+/// them filter with [`Token::is_comment`]).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        let push = |out: &mut Vec<Token>, tok: Tok| out.push(Token { tok, line, col });
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek2() == Some(b'/') => {
+                cur.bump();
+                cur.bump();
+                let start = cur.pos;
+                while cur.peek().is_some_and(|c| c != b'\n') {
+                    cur.bump();
+                }
+                let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+                push(&mut out, Tok::LineComment(text));
+            }
+            b'/' if cur.peek2() == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let start = cur.pos;
+                let mut depth = 1usize;
+                while depth > 0 && cur.peek().is_some() {
+                    if cur.peek() == Some(b'/') && cur.peek2() == Some(b'*') {
+                        depth += 1;
+                        cur.bump();
+                        cur.bump();
+                    } else if cur.peek() == Some(b'*') && cur.peek2() == Some(b'/') {
+                        depth -= 1;
+                        cur.bump();
+                        cur.bump();
+                    } else {
+                        cur.bump();
+                    }
+                }
+                let end = cur.pos.saturating_sub(2).max(start);
+                let text = String::from_utf8_lossy(&cur.src[start..end]).into_owned();
+                push(&mut out, Tok::BlockComment(text));
+            }
+            b'"' => {
+                lex_cooked_string(&mut cur);
+                push(&mut out, Tok::Str);
+            }
+            b'\'' => {
+                // Char literal or lifetime. A char literal is 'x' (possibly
+                // escaped); a lifetime is 'ident with no closing quote.
+                if cur.peek2() == Some(b'\\') {
+                    lex_char(&mut cur);
+                    push(&mut out, Tok::Char);
+                } else if cur.peek2().is_some_and(is_ident_start)
+                    && cur.peek_at(2).is_some_and(|c| c != b'\'')
+                {
+                    cur.bump(); // '
+                    let start = cur.pos;
+                    while cur.peek().is_some_and(is_ident_cont) {
+                        cur.bump();
+                    }
+                    let name = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+                    push(&mut out, Tok::Lifetime(name));
+                } else {
+                    lex_char(&mut cur);
+                    push(&mut out, Tok::Char);
+                }
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(&cur) => {
+                lex_raw_or_byte(&mut cur, &mut out, line, col);
+            }
+            c if is_ident_start(c) => {
+                let start = cur.pos;
+                while cur.peek().is_some_and(is_ident_cont) {
+                    cur.bump();
+                }
+                let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+                push(&mut out, Tok::Ident(text));
+            }
+            c if c.is_ascii_digit() => {
+                let start = cur.pos;
+                while cur.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+                    cur.bump();
+                }
+                // Fractional part — but never swallow `..` (range) or a
+                // method call like `1.max(2)`.
+                if cur.peek() == Some(b'.') && cur.peek2().is_some_and(|c| c.is_ascii_digit()) {
+                    cur.bump();
+                    while cur.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+                        cur.bump();
+                    }
+                }
+                // Signed exponent (`1e-6`): the `e` was consumed above.
+                if (cur.src[cur.pos - 1] | 0x20) == b'e'
+                    && matches!(cur.peek(), Some(b'+') | Some(b'-'))
+                    && cur.peek2().is_some_and(|c| c.is_ascii_digit())
+                {
+                    cur.bump();
+                    while cur.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+                        cur.bump();
+                    }
+                }
+                let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+                push(&mut out, Tok::Num(text));
+            }
+            c => {
+                cur.bump();
+                push(&mut out, Tok::Punct(c as char));
+            }
+        }
+    }
+    out
+}
+
+/// Does the cursor sit on `r"`, `r#"`, `r#ident`, `b"`, `b'`, `br"` …?
+fn starts_raw_or_byte_literal(cur: &Cursor) -> bool {
+    let c = cur.peek().unwrap_or(0);
+    match c {
+        b'r' => matches!(cur.peek2(), Some(b'"') | Some(b'#')),
+        b'b' => match cur.peek2() {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => matches!(cur.peek_at(2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn lex_raw_or_byte(cur: &mut Cursor, out: &mut Vec<Token>, line: u32, col: u32) {
+    let c = cur.peek().unwrap_or(0);
+    if c == b'b' {
+        match cur.peek2() {
+            Some(b'\'') => {
+                cur.bump(); // b
+                lex_char(cur);
+                out.push(Token { tok: Tok::Char, line, col });
+                return;
+            }
+            Some(b'"') => {
+                cur.bump(); // b
+                lex_cooked_string(cur);
+                out.push(Token { tok: Tok::Str, line, col });
+                return;
+            }
+            Some(b'r') => {
+                cur.bump(); // b; fall through to raw handling below
+            }
+            _ => unreachable!("guarded by starts_raw_or_byte_literal"),
+        }
+    }
+    // Now at `r` followed by `"` or `#…`.
+    cur.bump(); // r
+    let mut hashes = 0usize;
+    while cur.peek() == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek() != Some(b'"') {
+        // `r#ident` raw identifier (or stray `r#`): rewind is impossible in a
+        // streaming lexer, so lex the identifier directly.
+        let start = cur.pos;
+        while cur.peek().is_some_and(is_ident_cont) {
+            cur.bump();
+        }
+        let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+        out.push(Token { tok: Tok::Ident(text), line, col });
+        return;
+    }
+    cur.bump(); // opening quote
+    // Scan for `"` followed by `hashes` hash marks.
+    loop {
+        match cur.bump() {
+            None => break,
+            Some(b'"') => {
+                let mut n = 0;
+                while n < hashes && cur.peek() == Some(b'#') {
+                    n += 1;
+                    cur.bump();
+                }
+                if n == hashes {
+                    break;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+    out.push(Token { tok: Tok::Str, line, col });
+}
+
+fn lex_cooked_string(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            None | Some(b'"') => break,
+            Some(b'\\') => {
+                cur.bump(); // whatever is escaped, including `"` and `\`
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+fn lex_char(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            None | Some(b'\'') => break,
+            Some(b'\\') => {
+                cur.bump();
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_numbers_punct() {
+        assert_eq!(
+            kinds("let x = 42;"),
+            vec![
+                Tok::Ident("let".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct('='),
+                Tok::Num("42".into()),
+                Tok::Punct(';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn float_and_range_numbers() {
+        assert_eq!(
+            kinds("1.5e-6 0..10 0xff 1_000"),
+            vec![
+                Tok::Num("1.5e-6".into()),
+                Tok::Num("0".into()),
+                Tok::Punct('.'),
+                Tok::Punct('.'),
+                Tok::Num("10".into()),
+                Tok::Num("0xff".into()),
+                Tok::Num("1_000".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn code_inside_strings_is_not_tokens() {
+        // A lint for `HashMap` must not fire on string contents.
+        let toks = kinds(r#"let s = "HashMap::new() // not code"; "#);
+        assert!(toks.iter().all(|t| !matches!(t, Tok::Ident(s) if s == "HashMap")));
+        assert!(toks.contains(&Tok::Str));
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_string() {
+        let toks = kinds(r#" "a\"b\\" after "#);
+        assert_eq!(
+            toks,
+            vec![Tok::Str, Tok::Ident("after".into())]
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r##"r#"contains "quotes" and unwrap()"# tail"##);
+        assert_eq!(toks, vec![Tok::Str, Tok::Ident("tail".into())]);
+    }
+
+    #[test]
+    fn byte_and_byte_raw_strings() {
+        let toks = kinds(r##"b"bytes" br#"raw bytes"# b'x' x"##);
+        assert_eq!(
+            toks,
+            vec![Tok::Str, Tok::Str, Tok::Char, Tok::Ident("x".into())]
+        );
+    }
+
+    #[test]
+    fn line_comments_capture_text() {
+        let toks = lex("code // xtsim-lint: allow(x, \"y\")\nnext");
+        assert_eq!(
+            toks[1].tok,
+            Tok::LineComment(" xtsim-lint: allow(x, \"y\")".into())
+        );
+        assert_eq!(toks[1].line, 1);
+        assert_eq!(toks[2].tok, Tok::Ident("next".into()));
+        assert_eq!(toks[2].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::BlockComment(" outer /* inner */ still comment ".into()),
+                Tok::Ident("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_inside_strings_are_not_comments() {
+        let toks = kinds(r#""no // comment" x"#);
+        assert_eq!(toks, vec![Tok::Str, Tok::Ident("x".into())]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        assert_eq!(
+            kinds("&'a str 'x' '\\n' b'z' 'static"),
+            vec![
+                Tok::Punct('&'),
+                Tok::Lifetime("a".into()),
+                Tok::Ident("str".into()),
+                Tok::Char,
+                Tok::Char,
+                Tok::Char,
+                Tok::Lifetime("static".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(
+            kinds("r#type r#match"),
+            vec![Tok::Ident("type".into()), Tok::Ident("match".into())]
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based_and_accurate() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_does_not_panic() {
+        let toks = kinds("\"never closed");
+        assert_eq!(toks, vec![Tok::Str]);
+    }
+}

@@ -1,0 +1,153 @@
+#![forbid(unsafe_code)]
+//! `xtsim-lint` — determinism & DES-safety lints for the xtsim workspace.
+//!
+//! ```text
+//! xtsim-lint [--workspace | PATH...] [--deny warnings] [--json FILE]
+//!            [--config FILE] [--baseline FILE | --no-baseline]
+//!            [--write-baseline] [--verbose]
+//! ```
+//!
+//! Exit status: 0 clean, 1 findings (errors, or warnings under
+//! `--deny warnings`), 2 usage/configuration error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtsim_lint::config::Config;
+use xtsim_lint::report::parse_baseline;
+use xtsim_lint::{find_workspace_root, run, RunOptions};
+
+struct Args {
+    root: Option<PathBuf>,
+    deny_warnings: bool,
+    json: Option<PathBuf>,
+    config: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    use_baseline: bool,
+    write_baseline: bool,
+    verbose: bool,
+}
+
+const USAGE: &str = "usage: xtsim-lint [--workspace | PATH] [--deny warnings] [--json FILE]\n\
+ \x20                 [--config FILE] [--baseline FILE | --no-baseline]\n\
+ \x20                 [--write-baseline] [--verbose]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        deny_warnings: false,
+        json: None,
+        config: None,
+        baseline: None,
+        use_baseline: true,
+        write_baseline: false,
+        verbose: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => {
+                let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+                args.root = Some(
+                    find_workspace_root(&cwd)
+                        .ok_or("--workspace: no [workspace] Cargo.toml above cwd")?,
+                );
+            }
+            "--deny" => match it.next().as_deref() {
+                Some("warnings") => args.deny_warnings = true,
+                other => return Err(format!("--deny expects `warnings`, got {other:?}")),
+            },
+            "--json" => {
+                args.json = Some(PathBuf::from(it.next().ok_or("--json needs a file path")?));
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a file path")?));
+            }
+            "--baseline" => {
+                args.baseline =
+                    Some(PathBuf::from(it.next().ok_or("--baseline needs a file path")?));
+            }
+            "--no-baseline" => args.use_baseline = false,
+            "--write-baseline" => args.write_baseline = true,
+            "--verbose" => args.verbose = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            path => {
+                if args.root.is_some() {
+                    return Err("scan one root: either --workspace or a single PATH".to_string());
+                }
+                args.root = Some(PathBuf::from(path));
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn real_main() -> Result<bool, String> {
+    let args = parse_args().map_err(|e| format!("{e}\n{USAGE}"))?;
+    let root = match &args.root {
+        Some(r) => r.clone(),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            find_workspace_root(&cwd).unwrap_or(cwd)
+        }
+    };
+
+    let config_path = args.config.clone().unwrap_or_else(|| root.join("lint.toml"));
+    let cfg = if config_path.exists() {
+        let text = std::fs::read_to_string(&config_path)
+            .map_err(|e| format!("reading {}: {e}", config_path.display()))?;
+        Config::parse(&text).map_err(|e| e.to_string())?
+    } else if args.config.is_some() {
+        return Err(format!("config {} not found", config_path.display()));
+    } else {
+        Config::default()
+    };
+
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join("lint-baseline.json"));
+    let baseline = if args.use_baseline && !args.write_baseline && baseline_path.exists() {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("reading {}: {e}", baseline_path.display()))?;
+        parse_baseline(&text).map_err(|e| format!("{}: {e}", baseline_path.display()))?
+    } else {
+        Vec::new()
+    };
+
+    let report = run(&cfg, &RunOptions { root, baseline })?;
+
+    if args.write_baseline {
+        std::fs::write(&baseline_path, report.baseline_json())
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        let fatal = report
+            .findings
+            .iter()
+            .filter(|f| f.severity >= xtsim_lint::rules::Severity::Warn)
+            .count();
+        eprintln!("wrote {} finding(s) to {}", fatal, baseline_path.display());
+        return Ok(false);
+    }
+
+    if let Some(json_path) = &args.json {
+        std::fs::write(json_path, report.json())
+            .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
+    }
+    print!("{}", report.human(args.verbose));
+    Ok(report.is_fatal(args.deny_warnings))
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("xtsim-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,603 @@
+//! Reporting: human text, machine JSON, and the committed baseline.
+//!
+//! The baseline (`lint-baseline.json`) grandfathers findings that predate a
+//! rule. Entries are keyed `(file, rule, snippet)` where `snippet` is the
+//! trimmed source line, so the match survives line-number drift; each entry
+//! suppresses at most one finding, and entries that no longer match any
+//! finding are reported as stale so the baseline only ever shrinks.
+//!
+//! JSON in and out is hand-rolled (this crate is dependency-free); the
+//! emitted document is `xtsim-lint-v1`, validated structurally by
+//! `scripts/ci.sh`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::rules::{Finding, Severity};
+
+/// Why a finding is not being acted on.
+#[derive(Debug, Clone)]
+pub enum SuppressedHow {
+    /// Inline `// xtsim-lint: allow(rule, "reason")`.
+    Allow { reason: String },
+    /// Matched an entry of `lint-baseline.json`.
+    Baseline,
+}
+
+/// A finding plus its suppression.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    pub finding: Finding,
+    pub how: SuppressedHow,
+}
+
+/// One committed baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    pub file: String,
+    pub rule: String,
+    pub snippet: String,
+}
+
+/// The whole run's outcome.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Workspace root the paths are relative to.
+    pub root: String,
+    pub files_scanned: usize,
+    /// Actionable findings (not suppressed), sorted.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by allow comments or the baseline.
+    pub suppressed: Vec<Suppressed>,
+    /// `unsafe` token count per crate directory.
+    pub unsafe_inventory: BTreeMap<String, usize>,
+    /// Baseline entries that matched nothing (candidates for deletion).
+    pub stale_baseline: Vec<BaselineEntry>,
+}
+
+impl Report {
+    /// Count of actionable findings at `sev`.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.findings.iter().filter(|f| f.severity == sev).count()
+    }
+
+    /// Does the run fail? Errors always do; warnings only under
+    /// `--deny warnings`. Notes never fail.
+    pub fn is_fatal(&self, deny_warnings: bool) -> bool {
+        self.count(Severity::Error) > 0 || (deny_warnings && self.count(Severity::Warn) > 0)
+    }
+
+    /// Render the human report. Notes are summarized (full detail lives in
+    /// the JSON output) unless `verbose`.
+    pub fn human(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            if f.severity == Severity::Note && !verbose {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{}: [{}] {}:{}:{}: {}",
+                f.severity.as_str(),
+                f.rule,
+                f.file,
+                f.line,
+                f.col,
+                f.message
+            );
+            let _ = writeln!(out, "    = help: {}", f.suggestion);
+        }
+        let notes = self.count(Severity::Note);
+        if notes > 0 && !verbose {
+            let _ = writeln!(out, "note: {notes} informational finding(s) — see --json output");
+        }
+        if !self.stale_baseline.is_empty() {
+            let _ = writeln!(
+                out,
+                "note: {} stale baseline entr{} (fixed findings still listed in \
+                 lint-baseline.json — delete them):",
+                self.stale_baseline.len(),
+                if self.stale_baseline.len() == 1 { "y" } else { "ies" },
+            );
+            for e in &self.stale_baseline {
+                let _ = writeln!(out, "    {} [{}] `{}`", e.file, e.rule, e.snippet);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "xtsim-lint: {} file(s), {} error(s), {} warning(s), {} note(s); \
+             {} allowed, {} baselined",
+            self.files_scanned,
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            notes,
+            self.suppressed
+                .iter()
+                .filter(|s| matches!(s.how, SuppressedHow::Allow { .. }))
+                .count(),
+            self.suppressed
+                .iter()
+                .filter(|s| matches!(s.how, SuppressedHow::Baseline))
+                .count(),
+        );
+        out
+    }
+
+    /// Render the `xtsim-lint-v1` JSON document.
+    pub fn json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.open_obj();
+        w.field_str("schema", "xtsim-lint-v1");
+        w.field_str("root", &self.root);
+        w.field_num("files_scanned", self.files_scanned as f64);
+        w.key("findings");
+        w.open_arr();
+        for f in &self.findings {
+            write_finding(&mut w, f);
+        }
+        w.close_arr();
+        w.key("suppressed");
+        w.open_arr();
+        for s in &self.suppressed {
+            w.open_obj();
+            finding_fields(&mut w, &s.finding);
+            match &s.how {
+                SuppressedHow::Allow { reason } => {
+                    w.field_str("how", "allow");
+                    w.field_str("reason", reason);
+                }
+                SuppressedHow::Baseline => w.field_str("how", "baseline"),
+            }
+            w.close_obj();
+        }
+        w.close_arr();
+        w.key("unsafe_inventory");
+        w.open_obj();
+        for (krate, count) in &self.unsafe_inventory {
+            w.field_num(krate, *count as f64);
+        }
+        w.close_obj();
+        w.key("stale_baseline");
+        w.open_arr();
+        for e in &self.stale_baseline {
+            w.open_obj();
+            w.field_str("file", &e.file);
+            w.field_str("rule", &e.rule);
+            w.field_str("snippet", &e.snippet);
+            w.close_obj();
+        }
+        w.close_arr();
+        w.key("summary");
+        w.open_obj();
+        w.field_num("errors", self.count(Severity::Error) as f64);
+        w.field_num("warnings", self.count(Severity::Warn) as f64);
+        w.field_num("notes", self.count(Severity::Note) as f64);
+        w.field_num(
+            "allowed",
+            self.suppressed
+                .iter()
+                .filter(|s| matches!(s.how, SuppressedHow::Allow { .. }))
+                .count() as f64,
+        );
+        w.field_num(
+            "baselined",
+            self.suppressed
+                .iter()
+                .filter(|s| matches!(s.how, SuppressedHow::Baseline))
+                .count() as f64,
+        );
+        w.field_num("stale_baseline", self.stale_baseline.len() as f64);
+        w.close_obj();
+        w.close_obj();
+        w.finish()
+    }
+
+    /// Render a fresh baseline holding every *fatal-grade* finding of this
+    /// run (the `--write-baseline` workflow). Notes are informational and
+    /// never gate CI, so they stay visible rather than baselined.
+    pub fn baseline_json(&self) -> String {
+        let mut entries: Vec<BaselineEntry> = self
+            .findings
+            .iter()
+            .filter(|f| f.severity >= Severity::Warn)
+            .map(|f| BaselineEntry {
+                file: f.file.clone(),
+                rule: f.rule.to_string(),
+                snippet: f.snippet.clone(),
+            })
+            .collect();
+        entries.sort();
+        let mut w = JsonWriter::new();
+        w.open_obj();
+        w.field_str("schema", "xtsim-lint-baseline-v1");
+        w.key("findings");
+        w.open_arr();
+        for e in &entries {
+            w.open_obj();
+            w.field_str("file", &e.file);
+            w.field_str("rule", &e.rule);
+            w.field_str("snippet", &e.snippet);
+            w.close_obj();
+        }
+        w.close_arr();
+        w.close_obj();
+        w.finish()
+    }
+}
+
+fn write_finding(w: &mut JsonWriter, f: &Finding) {
+    w.open_obj();
+    finding_fields(w, f);
+    w.close_obj();
+}
+
+fn finding_fields(w: &mut JsonWriter, f: &Finding) {
+    w.field_str("file", &f.file);
+    w.field_num("line", f.line as f64);
+    w.field_num("col", f.col as f64);
+    w.field_str("rule", f.rule);
+    w.field_str("severity", f.severity.as_str());
+    w.field_str("message", &f.message);
+    w.field_str("suggestion", &f.suggestion);
+    w.field_str("snippet", &f.snippet);
+}
+
+/// Parse `lint-baseline.json`.
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let value = json_parse(text)?;
+    let obj = value.as_obj().ok_or("baseline root must be an object")?;
+    match obj.get("schema").and_then(JsonValue::as_str) {
+        Some("xtsim-lint-baseline-v1") => {}
+        other => return Err(format!("unsupported baseline schema {other:?}")),
+    }
+    let findings = obj
+        .get("findings")
+        .and_then(JsonValue::as_arr)
+        .ok_or("baseline missing `findings` array")?;
+    let mut out = Vec::new();
+    for f in findings {
+        let f = f.as_obj().ok_or("baseline finding must be an object")?;
+        let get = |k: &str| -> Result<String, String> {
+            f.get(k)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("baseline finding missing string `{k}`"))
+        };
+        out.push(BaselineEntry {
+            file: get("file")?,
+            rule: get("rule")?,
+            snippet: get("snippet")?,
+        });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON emitter
+
+struct JsonWriter {
+    buf: String,
+    /// Per open container: has a member been emitted yet?
+    stack: Vec<bool>,
+    /// A key was just written; the next member is its value (no comma).
+    after_key: bool,
+}
+
+impl JsonWriter {
+    fn new() -> Self {
+        JsonWriter { buf: String::new(), stack: Vec::new(), after_key: false }
+    }
+
+    fn pre_member(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+            return;
+        }
+        if let Some(started) = self.stack.last_mut() {
+            if *started {
+                self.buf.push(',');
+            }
+            *started = true;
+        }
+    }
+
+    fn open_obj(&mut self) {
+        self.pre_member();
+        self.buf.push('{');
+        self.stack.push(false);
+    }
+
+    fn close_obj(&mut self) {
+        self.stack.pop();
+        self.buf.push('}');
+    }
+
+    fn open_arr(&mut self) {
+        self.pre_member();
+        self.buf.push('[');
+        self.stack.push(false);
+    }
+
+    fn close_arr(&mut self) {
+        self.stack.pop();
+        self.buf.push(']');
+    }
+
+    fn key(&mut self, k: &str) {
+        self.pre_member();
+        self.push_string(k);
+        self.buf.push(':');
+        self.after_key = true;
+    }
+
+    fn field_str(&mut self, k: &str, v: &str) {
+        self.pre_member();
+        self.push_string(k);
+        self.buf.push(':');
+        self.push_string(v);
+    }
+
+    fn field_num(&mut self, k: &str, v: f64) {
+        self.pre_member();
+        self.push_string(k);
+        self.buf.push(':');
+        if v.fract() == 0.0 && v.abs() < 9e15 {
+            let _ = write!(self.buf, "{}", v as i64);
+        } else {
+            let _ = write!(self.buf, "{v}");
+        }
+    }
+
+    fn push_string(&mut self, s: &str) {
+        self.buf.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\r' => self.buf.push_str("\\r"),
+                '\t' => self.buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(self.buf, "\\u{:04x}", c as u32);
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+
+    fn finish(mut self) -> String {
+        self.buf.push('\n');
+        self.buf
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (baseline files only)
+
+enum JsonValue {
+    Str(String),
+    /// Numbers are parsed for well-formedness; no baseline field reads one.
+    Num(#[allow(dead_code)] f64),
+    Bool,
+    Null,
+    Arr(Vec<JsonValue>),
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn as_obj(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+fn json_parse(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = json_value(bytes, &mut pos)?;
+    json_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn json_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\r' | b'\n') {
+        *pos += 1;
+    }
+}
+
+fn json_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    json_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'"') => Ok(JsonValue::Str(json_string(b, pos)?)),
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            json_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(map));
+            }
+            loop {
+                json_ws(b, pos);
+                let key = json_string(b, pos)?;
+                json_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let val = json_value(b, pos)?;
+                map.insert(key, val);
+                json_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            json_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(arr));
+            }
+            loop {
+                arr.push(json_value(b, pos)?);
+                json_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(arr));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(JsonValue::Bool)
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(JsonValue::Bool)
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(JsonValue::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(JsonValue::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn json_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = b.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("short \\u escape")?;
+                        let cp = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        *pos += 4;
+                        // Baselines never contain surrogate pairs (snippets
+                        // are re-escaped plain text); map lone surrogates to
+                        // U+FFFD rather than failing.
+                        out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                    }
+                    other => return Err(format!("bad escape \\{}", other as char)),
+                }
+            }
+            _ => {
+                // Collect the remaining bytes of a UTF-8 sequence.
+                let start = *pos - 1;
+                while *pos < b.len() && b[*pos] & 0xC0 == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?,
+                );
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_roundtrip() {
+        let mut report = Report::default();
+        report.findings.push(Finding {
+            file: "crates/x/src/a.rs".into(),
+            line: 3,
+            col: 9,
+            rule: "panic-in-hot-path",
+            severity: Severity::Warn,
+            message: "m".into(),
+            suggestion: "s".into(),
+            snippet: "let x = v.pop().expect(\"non-empty\");".into(),
+        });
+        let text = report.baseline_json();
+        let entries = parse_baseline(&text).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].file, "crates/x/src/a.rs");
+        assert_eq!(entries[0].rule, "panic-in-hot-path");
+        assert_eq!(entries[0].snippet, "let x = v.pop().expect(\"non-empty\");");
+    }
+
+    #[test]
+    fn json_escapes_are_symmetric() {
+        let mut w = JsonWriter::new();
+        w.open_obj();
+        w.field_str("k", "a\"b\\c\nd\te");
+        w.close_obj();
+        let text = w.finish();
+        let v = json_parse(&text).unwrap();
+        assert_eq!(v.as_obj().unwrap()["k"].as_str().unwrap(), "a\"b\\c\nd\te");
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        assert!(parse_baseline(r#"{"schema": "nope", "findings": []}"#).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+#![forbid(unsafe_code)]
+//! Golden tests for the rule catalog: each fixture under `tests/fixtures/`
+//! exercises one rule (a positive case, a suppressed case, and negative
+//! cases that must stay silent), and its rendered diagnostics must match
+//! `tests/fixtures/expected/<name>.txt` byte-for-byte.
+//!
+//! Regenerate goldens after an intentional rule change with:
+//!
+//! ```text
+//! UPDATE_FIXTURES=1 cargo test -p xtsim-lint --test fixtures
+//! ```
+
+use std::path::PathBuf;
+
+use xtsim_lint::config::Config;
+use xtsim_lint::report::SuppressedHow;
+use xtsim_lint::scan_source;
+
+/// Fixture scan config: every fixture counts as sim code, and the
+/// panic-rule fixture is a hot path. Real-path scoping lives in the
+/// workspace `lint.toml`; this stays self-contained so goldens don't move
+/// when the workspace config does.
+const FIXTURE_CONFIG: &str = r#"[lint]
+sim_crates = ["fixtures/**"]
+hot_paths = ["fixtures/panic_hot_path.rs"]
+"#;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Render one fixture's scan result in a stable, diff-friendly form.
+fn render(rel: &str, src: &str) -> String {
+    let cfg = Config::parse(FIXTURE_CONFIG).expect("fixture config parses");
+    let (findings, suppressed, unsafe_count) = scan_source(rel, src, &cfg);
+    let mut out = String::new();
+    for f in &findings {
+        out.push_str(&format!(
+            "{}:{} {} {}\n",
+            f.line,
+            f.col,
+            f.severity.as_str(),
+            f.rule
+        ));
+    }
+    for s in &suppressed {
+        let how = match &s.how {
+            SuppressedHow::Allow { reason } => format!("allow(\"{reason}\")"),
+            SuppressedHow::Baseline => "baseline".to_string(),
+        };
+        out.push_str(&format!(
+            "{}:{} suppressed {} by {}\n",
+            s.finding.line, s.finding.col, s.finding.rule, how
+        ));
+    }
+    out.push_str(&format!("unsafe_count={unsafe_count}\n"));
+    out
+}
+
+fn check_fixture(name: &str) {
+    let dir = fixture_dir();
+    let src = std::fs::read_to_string(dir.join(name)).expect("read fixture");
+    let got = render(&format!("fixtures/{name}"), &src);
+    let expected_path = dir.join("expected").join(format!(
+        "{}.txt",
+        name.strip_suffix(".rs").expect("fixture is a .rs file")
+    ));
+    if std::env::var_os("UPDATE_FIXTURES").is_some() {
+        std::fs::create_dir_all(expected_path.parent().expect("expected dir"))
+            .expect("create expected dir");
+        std::fs::write(&expected_path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&expected_path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run UPDATE_FIXTURES=1 cargo test -p xtsim-lint --test fixtures",
+            expected_path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "fixture {name} diagnostics drifted from {}",
+        expected_path.display()
+    );
+}
+
+#[test]
+fn nondet_map_iter_fixture() {
+    check_fixture("nondet_map_iter.rs");
+}
+
+#[test]
+fn wallclock_fixture() {
+    check_fixture("wallclock.rs");
+}
+
+#[test]
+fn ambient_rng_fixture() {
+    check_fixture("ambient_rng.rs");
+}
+
+#[test]
+fn refcell_borrow_fixture() {
+    check_fixture("refcell_borrow.rs");
+}
+
+#[test]
+fn panic_hot_path_fixture() {
+    check_fixture("panic_hot_path.rs");
+}
+
+#[test]
+fn unsafe_safety_fixture() {
+    check_fixture("unsafe_safety.rs");
+}
+
+/// The positive cases in every fixture stay findings when no allow comment
+/// covers them — i.e. the goldens above aren't vacuously empty.
+#[test]
+fn fixtures_have_positive_findings() {
+    let dir = fixture_dir();
+    for name in [
+        "nondet_map_iter.rs",
+        "wallclock.rs",
+        "ambient_rng.rs",
+        "refcell_borrow.rs",
+        "panic_hot_path.rs",
+        "unsafe_safety.rs",
+    ] {
+        let src = std::fs::read_to_string(dir.join(name)).expect("read fixture");
+        let cfg = Config::parse(FIXTURE_CONFIG).expect("fixture config parses");
+        let (findings, suppressed, _) = scan_source(&format!("fixtures/{name}"), &src, &cfg);
+        assert!(
+            !findings.is_empty(),
+            "{name}: expected at least one unsuppressed finding"
+        );
+        assert!(
+            !suppressed.is_empty(),
+            "{name}: expected at least one allow-suppressed finding"
+        );
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: ambient-rng — entropy-seeded randomness outside test code.
+
+fn positive() {
+    let _rng = rand::thread_rng();
+}
+
+fn suppressed() {
+    // xtsim-lint: allow(ambient-rng, "fixture demo of the suppression syntax")
+    let _ = rand::rngs::OsRng;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_seed_from_entropy() {
+        let _ = rand::rngs::StdRng::from_entropy();
+    }
+}

@@ -1,0 +1,24 @@
+// Fixture: nondet-map-iter — HashMap/HashSet iteration in a sim crate.
+use std::collections::HashMap;
+
+fn positive() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    for (k, v) in m.iter() {
+        let _ = (k, v);
+    }
+}
+
+fn suppressed() {
+    let counts: HashMap<u32, u32> = HashMap::new();
+    // xtsim-lint: allow(nondet-map-iter, "order folds through a commutative sum")
+    let _total: u32 = counts.values().sum();
+}
+
+fn negative_btree() {
+    let ordered: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+    for (_k, _v) in ordered.iter() {}
+}
+
+fn negative_keyed_access(lookup: &HashMap<u32, u32>) -> Option<u32> {
+    lookup.get(&3).copied()
+}

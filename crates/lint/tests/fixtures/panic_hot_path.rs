@@ -1,0 +1,17 @@
+// Fixture: panic-in-hot-path — unwrap/expect (warn) and indexing (note) in
+// a configured DES hot path.
+
+fn positive(v: &[u32], o: Option<u32>) -> u32 {
+    let a = o.unwrap();
+    let b = o.expect("present");
+    a + b + v[0]
+}
+
+fn suppressed(o: Option<u32>) -> u32 {
+    // xtsim-lint: allow(panic-in-hot-path, "invariant: caller checked is_some")
+    o.unwrap()
+}
+
+fn negative_checked(v: &[u32]) -> u32 {
+    v.first().copied().unwrap_or(0)
+}

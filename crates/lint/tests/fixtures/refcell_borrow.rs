@@ -1,0 +1,25 @@
+// Fixture: refcell-reentrant-borrow — two live borrows of one cell in a
+// single statement.
+use std::cell::RefCell;
+
+fn positive(c: &RefCell<Vec<u32>>) {
+    merge(c.borrow_mut(), c.borrow_mut());
+}
+
+fn negative_match_arms(w: &RefCell<String>, left: bool) {
+    match left {
+        true => *w.borrow_mut() = "l".to_string(),
+        false => *w.borrow_mut() = "r".to_string(),
+    }
+}
+
+fn negative_sequential(c: &RefCell<Vec<u32>>) {
+    c.borrow_mut().push(1);
+    c.borrow_mut().push(2);
+}
+
+fn suppressed(c: &RefCell<Vec<u32>>, d: &RefCell<Vec<u32>>) {
+    // xtsim-lint: allow(refcell-reentrant-borrow, "shared read + exclusive write of the same cell is the point of this fixture")
+    compare(c.borrow(), c.borrow_mut());
+    let _ = (c, d);
+}

@@ -1,0 +1,17 @@
+// Fixture: unsafe-without-safety-comment — unsafe blocks must carry a
+// nearby justification comment (this header deliberately avoids the
+// magic word so it can't cover the positive case below).
+
+fn positive(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+fn suppressed(p: *const u32) -> u32 {
+    // xtsim-lint: allow(unsafe-without-safety-comment, "fixture demo of the suppression syntax")
+    unsafe { *p }
+}
+
+fn documented(p: *const u32) -> u32 {
+    // SAFETY: caller guarantees p is valid, aligned, and initialized.
+    unsafe { *p }
+}

@@ -1,0 +1,17 @@
+// Fixture: wallclock-in-sim — reading the host clock inside a sim crate.
+use std::time::Instant;
+
+fn positive() {
+    let t = Instant::now();
+    let _ = t;
+    let _ = std::time::SystemTime::now();
+}
+
+fn suppressed() {
+    // xtsim-lint: allow(wallclock-in-sim, "harness-side timing, never enters sim state")
+    let _ = Instant::now();
+}
+
+fn negative(start: Instant) -> std::time::Duration {
+    start.elapsed()
+}

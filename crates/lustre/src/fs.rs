@@ -2,7 +2,7 @@
 //! files, per-client links.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use xtsim_des::{FifoStation, FluidPool, LinkId, SimDuration, SimHandle};
@@ -75,7 +75,7 @@ struct LustreInner {
     pool: FluidPool,
     oss_links: Vec<LinkId>,
     ost_links: Vec<LinkId>,
-    files: RefCell<HashMap<u64, FileMeta>>,
+    files: RefCell<BTreeMap<u64, FileMeta>>,
     next_fid: RefCell<u64>,
     next_client: RefCell<usize>,
     stats: RefCell<IoStats>,
@@ -114,7 +114,7 @@ impl Lustre {
                 pool,
                 oss_links,
                 ost_links,
-                files: RefCell::new(HashMap::new()),
+                files: RefCell::new(BTreeMap::new()),
                 next_fid: RefCell::new(1),
                 next_client: RefCell::new(0),
                 stats: RefCell::new(IoStats::default()),
@@ -159,7 +159,7 @@ impl Lustre {
         len: u64,
     ) -> Vec<(OstId, u64)> {
         let nost = self.ost_count();
-        let mut per_ost: HashMap<usize, u64> = HashMap::new();
+        let mut per_ost: BTreeMap<usize, u64> = BTreeMap::new();
         let mut pos = offset;
         let end = offset + len;
         while pos < end {
@@ -170,9 +170,8 @@ impl Lustre {
             *per_ost.entry(ost).or_insert(0) += chunk;
             pos += chunk;
         }
-        let mut v: Vec<(OstId, u64)> = per_ost.into_iter().map(|(o, b)| (OstId(o), b)).collect();
-        v.sort_by_key(|(o, _)| o.0);
-        v
+        // BTreeMap iterates in key order, so the result is already sorted by OST.
+        per_ost.into_iter().map(|(o, b)| (OstId(o), b)).collect()
     }
 
     async fn mds_op(&self) {

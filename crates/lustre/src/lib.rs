@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # xtsim-lustre — object-based parallel filesystem model
 //!
 //! The paper's Figure 1 architecture: compute-node clients (`liblustre`)

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # xtsim-machine — Cray XT3/XT4-era machine models
 //!
 //! Parametric descriptions of the systems evaluated in the paper (Cray XT3,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # xtsim-mpi — simulated MPI over the discrete-event platform
 //!
 //! Each MPI rank is an async task on the [`xtsim_des`] executor; sends and

@@ -93,7 +93,7 @@ pub(crate) struct WorldInner {
     pub(crate) platform: Platform,
     engines: Vec<RefCell<MatchEngine>>,
     pub(crate) modeled_collectives: bool,
-    pub(crate) gates: RefCell<std::collections::HashMap<(u64, u64), Rc<crate::gate::Gate>>>,
+    pub(crate) gates: RefCell<std::collections::BTreeMap<(u64, u64), Rc<crate::gate::Gate>>>,
     pub(crate) profiles: RefCell<Vec<RankProfile>>,
     /// Collective nesting depth per rank: p2p inside a collective accrues
     /// to the collective, not to p2p.
@@ -121,7 +121,7 @@ impl World {
                 platform,
                 engines: (0..ranks).map(|_| RefCell::new(MatchEngine::default())).collect(),
                 modeled_collectives: modeled,
-                gates: RefCell::new(std::collections::HashMap::new()),
+                gates: RefCell::new(std::collections::BTreeMap::new()),
                 profiles: RefCell::new(vec![RankProfile::default(); ranks]),
                 coll_depth: RefCell::new(vec![0; ranks]),
             }),

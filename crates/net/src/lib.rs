@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # xtsim-net — SeaStar-style interconnect and node simulation
 //!
 //! Builds the simulated Cray XT platform: a 3-D torus with dimension-ordered

@@ -10,6 +10,30 @@ cd "$(dirname "$0")/.."
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== xtsim-lint (determinism & DES-safety, deny warnings) =="
+out="$(mktemp -d)"
+cargo run --release -p xtsim-lint -- \
+    --workspace --deny warnings --json "$out/lint.json"
+# The machine output must keep the documented shape and agree with the
+# committed baseline: no errors, no un-baselined warnings, no stale entries.
+python3 - "$out/lint.json" <<'EOF'
+import json, sys
+rec = json.load(open(sys.argv[1]))
+assert rec["schema"] == "xtsim-lint-v1", f"bad schema: {rec.get('schema')}"
+assert rec["files_scanned"] > 50, "scanned suspiciously few files"
+s = rec["summary"]
+assert s["errors"] == 0, f"lint errors: {s['errors']}"
+assert s["warnings"] == 0, f"un-baselined lint warnings: {s['warnings']}"
+assert s["stale_baseline"] == 0, f"stale baseline entries: {s['stale_baseline']}"
+for f in rec["findings"]:
+    assert {"file", "line", "col", "rule", "severity"} <= f.keys(), f"finding missing keys: {f}"
+assert isinstance(rec["unsafe_inventory"], dict)
+assert set(rec["unsafe_inventory"]) == {"crates/des"}, (
+    f"unsafe crept into a new crate: {sorted(rec['unsafe_inventory'])}"
+)
+EOF
+rm -rf "$out"
+
 echo "== build (release) =="
 cargo build --workspace --release
 

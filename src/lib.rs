@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # xt4-repro — reproduction of "Cray XT4: An Early Evaluation for
 //! Petascale Scientific Simulation" (SC'07)
 //!

@@ -1,0 +1,194 @@
+//! Scenarios for the parallel (sharded) execution mode.
+//!
+//! Two small SPMD programs exercised by the PDES differential tests, the
+//! `fig24` figure, and the `pdes_alltoall` benchmark. Both run on
+//! [`xtsim_mpi::simulate_sharded`], so their results are — by contract —
+//! pure functions of `(machine, mode, ranks, payload)`: the shard count,
+//! partition map, thread count and epoch window must never change a
+//! number. The differential harness in `tests/pdes_equivalence.rs` holds
+//! this file to that contract.
+
+use xtsim_des::pdes::LogEntry;
+use xtsim_des::{SimDuration, SimTime};
+use xtsim_machine::{ExecMode, MachineSpec};
+use xtsim_mpi::{simulate_sharded, ShardedConfig};
+
+/// How to shard and drive a PDES scenario (the world shape plus every
+/// knob that must NOT affect results).
+#[derive(Debug, Clone)]
+pub struct PdesScenario {
+    /// Machine description.
+    pub spec: MachineSpec,
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Ranks in the job.
+    pub ranks: usize,
+    /// Shards (1 = serial reference).
+    pub shards: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Optional node→shard map override (stress testing).
+    pub partition: Option<Vec<usize>>,
+    /// Optional epoch-window cap (stress testing).
+    pub window: Option<SimDuration>,
+    /// Record per-rank event logs for differential diffs.
+    pub log_events: bool,
+}
+
+impl PdesScenario {
+    /// A serial (1 shard, 1 thread) scenario over `ranks` ranks.
+    pub fn new(spec: MachineSpec, mode: ExecMode, ranks: usize) -> PdesScenario {
+        PdesScenario {
+            spec,
+            mode,
+            ranks,
+            shards: 1,
+            threads: 1,
+            partition: None,
+            window: None,
+            log_events: false,
+        }
+    }
+
+    /// Same scenario with `shards` shards on `threads` threads.
+    pub fn sharded(mut self, shards: usize, threads: usize) -> PdesScenario {
+        self.shards = shards;
+        self.threads = threads;
+        self
+    }
+
+    fn to_config(&self) -> ShardedConfig {
+        let mut c = ShardedConfig::new(self.spec.clone(), self.mode, self.ranks);
+        c.shards = self.shards;
+        c.threads = self.threads;
+        c.partition = self.partition.clone();
+        c.window = self.window;
+        c.log_events = self.log_events;
+        c
+    }
+}
+
+/// Everything a PDES scenario run yields; every field must be identical
+/// for every sharding of the same scenario.
+#[derive(Debug)]
+pub struct PdesRun {
+    /// Simulated wall time of the whole job, seconds.
+    pub time_s: f64,
+    /// Per-rank finish instants.
+    pub finish_times: Vec<SimTime>,
+    /// Scenario checksum (scenario-defined; bitwise-reproducible).
+    pub checksum: f64,
+    /// Engine barrier epochs executed (diagnostic — varies with sharding).
+    pub epochs: u64,
+    /// Cross-shard messages (diagnostic — varies with sharding).
+    pub remote_messages: u64,
+    /// Merged deterministic event log (empty unless `log_events`).
+    pub log: Vec<LogEntry>,
+}
+
+/// Pairwise-exchange alltoall (the paper's §5 aggregate-bandwidth
+/// pattern): `ranks - 1` steps, each rank sending `bytes` to
+/// `(rank + step) % p` while receiving from `(rank - step) % p`.
+pub fn alltoall(sc: &PdesScenario, bytes: u64) -> PdesRun {
+    let out = simulate_sharded(&sc.to_config(), |mpi| async move {
+        let p = mpi.size();
+        let mut got = 0u64;
+        for step in 1..p {
+            let dst = (mpi.rank() + step) % p;
+            let src = (mpi.rank() + p - step) % p;
+            got += mpi.sendrecv(dst, src, step as u64, bytes).await;
+        }
+        mpi.log(format!("alltoall rank {} received {got} B", mpi.rank()));
+    });
+    let time_s = out.end_time.as_secs_f64();
+    PdesRun {
+        time_s,
+        checksum: (out.finish_times.iter().map(|t| t.as_ps() as u128).sum::<u128>() % (1 << 52))
+            as f64,
+        finish_times: out.finish_times,
+        epochs: out.epochs,
+        remote_messages: out.remote_messages,
+        log: out.log,
+    }
+}
+
+/// Iterated 1-D ring halo exchange + allreduce (the inner loop shape of
+/// the paper's climate/ocean proxies): each iteration computes, swaps
+/// `bytes` with both ring neighbours, then allreduces one running value.
+/// The checksum is the final allreduce result — bitwise partition-proof.
+pub fn halo_allreduce(sc: &PdesScenario, bytes: u64, iters: usize) -> PdesRun {
+    use std::sync::{Arc, Mutex};
+    let checksum: Arc<Mutex<f64>> = Arc::new(Mutex::new(0.0));
+    let sink = Arc::clone(&checksum);
+    let out = simulate_sharded(&sc.to_config(), move |mpi| {
+        let sink = Arc::clone(&sink);
+        async move {
+            let p = mpi.size();
+            let right = (mpi.rank() + 1) % p;
+            let left = (mpi.rank() + p - 1) % p;
+            let mut local = mpi.rank() as f64 + 1.0;
+            for it in 0..iters {
+                // Unequal compute: ranks drift apart, so the halo swap and
+                // the collective both do real synchronisation work.
+                let us = 5 + ((mpi.rank() * 7 + it * 3) % 11) as u64;
+                mpi.compute(SimDuration::from_us(us)).await;
+                let tag = 2 * it as u64;
+                mpi.sendrecv(right, left, tag, bytes).await;
+                mpi.sendrecv(left, right, tag + 1, bytes).await;
+                let sum = mpi.allreduce(vec![local]).await;
+                local = sum[0] / p as f64 + mpi.rank() as f64 * 1e-3;
+            }
+            let total = mpi.allreduce(vec![local]).await;
+            if mpi.rank() == 0 {
+                *sink.lock().unwrap() = total[0];
+            }
+            mpi.log(format!("halo rank {} local {local:.6}", mpi.rank()));
+        }
+    });
+    let time_s = out.end_time.as_secs_f64();
+    let checksum = *checksum.lock().unwrap();
+    PdesRun {
+        time_s,
+        checksum,
+        finish_times: out.finish_times,
+        epochs: out.epochs,
+        remote_messages: out.remote_messages,
+        log: out.log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtsim_machine::presets;
+
+    fn sc(ranks: usize) -> PdesScenario {
+        let mut s = PdesScenario::new(presets::xt4(), ExecMode::VN, ranks);
+        s.log_events = true;
+        s
+    }
+
+    #[test]
+    fn alltoall_matches_serial_reference() {
+        let base = alltoall(&sc(16), 2048);
+        assert!(base.time_s > 0.0);
+        for (shards, threads) in [(2, 2), (4, 4)] {
+            let run = alltoall(&sc(16).sharded(shards, threads), 2048);
+            assert_eq!(run.finish_times, base.finish_times);
+            assert_eq!(run.log, base.log);
+            assert_eq!(run.time_s, base.time_s);
+        }
+    }
+
+    #[test]
+    fn halo_checksum_is_sharding_proof() {
+        let base = halo_allreduce(&sc(12), 1024, 5);
+        assert!(base.checksum.is_finite() && base.checksum != 0.0);
+        for (shards, threads) in [(2, 1), (3, 3), (4, 2)] {
+            let run = halo_allreduce(&sc(12).sharded(shards, threads), 1024, 5);
+            assert_eq!(run.checksum.to_bits(), base.checksum.to_bits());
+            assert_eq!(run.finish_times, base.finish_times);
+            assert_eq!(run.log, base.log);
+        }
+    }
+}

@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! figures [--full|--quick|--scale quick|full] [--only ID[,ID...]] [--all]
-//!         [--ablations] [--jobs N] [--no-cache] [--cache-dir DIR] [--out DIR]
-//!         [--trace DIR] [--metrics FILE]
+//!         [--ablations] [--jobs N] [--des-threads N] [--no-cache]
+//!         [--cache-dir DIR] [--out DIR] [--trace DIR] [--metrics FILE]
 //! ```
 //!
 //! Default scale is `--quick` (reduced sweeps, seconds per figure); `--full`
@@ -25,6 +25,12 @@
 //! `--metrics FILE` writes a machine-readable per-figure metrics record
 //! (cache hits/misses, wall-clock, simulated-time breakdown by span
 //! category). Either flag enables trace capture inside the simulations.
+//!
+//! Parallel DES: `--des-threads N` (or the `DES_THREADS` env var; the flag
+//! wins) hands each sweep job a worker-thread budget for the conservative
+//! parallel engine. PDES-aware figures (fig24) shard their worlds across
+//! that many threads; output is byte-identical for every value of N — the
+//! differential tests in `tests/pdes_equivalence.rs` enforce it.
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -44,6 +50,7 @@ struct Args {
     cache_dir: PathBuf,
     trace_dir: Option<PathBuf>,
     metrics: Option<PathBuf>,
+    des_threads: usize,
 }
 
 fn default_jobs() -> usize {
@@ -61,6 +68,11 @@ fn parse_args() -> Args {
         cache_dir: DiskCache::default_dir(),
         trace_dir: None,
         metrics: None,
+        des_threads: std::env::var("DES_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n: &usize| n >= 1)
+            .unwrap_or(1),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -93,6 +105,13 @@ fn parse_args() -> Args {
                     .filter(|&n: &usize| n >= 1)
                     .expect("--jobs needs a positive integer");
             }
+            "--des-threads" => {
+                args.des_threads = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .expect("--des-threads needs a positive integer");
+            }
             "--no-cache" => args.cache = false,
             "--cache-dir" => {
                 args.cache_dir = PathBuf::from(it.next().expect("--cache-dir needs a directory"));
@@ -106,8 +125,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: figures [--full|--quick|--scale quick|full] [--only ID[,ID...]] [--all]\n\
-                     \x20              [--ablations] [--jobs N] [--no-cache] [--cache-dir DIR] [--out DIR]\n\
-                     \x20              [--trace DIR] [--metrics FILE]"
+                     \x20              [--ablations] [--jobs N] [--des-threads N] [--no-cache]\n\
+                     \x20              [--cache-dir DIR] [--out DIR] [--trace DIR] [--metrics FILE]"
                 );
                 std::process::exit(0);
             }
@@ -137,7 +156,7 @@ fn make_config(args: &Args) -> SweepConfig {
     if args.metrics.is_some() {
         cfg = cfg.with_metrics();
     }
-    cfg
+    cfg.with_des_threads(args.des_threads)
 }
 
 fn main() {

@@ -20,6 +20,7 @@
 //! [`ENGINE_VERSION`] whenever simulator semantics change; every old entry
 //! then misses.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -262,11 +263,22 @@ pub struct SweepConfig {
     /// Collect per-job [`TraceSummary`]s and a per-figure [`FigureMetrics`]
     /// record (implied by `trace_dir`).
     pub collect_metrics: bool,
+    /// DES worker-thread budget advertised to each job via
+    /// [`des_threads`]. Figures that can shard their worlds run the
+    /// parallel engine with this many threads; by contract the knob never
+    /// changes simulated numbers, so it is *not* part of [`JobKey`].
+    pub des_threads: usize,
 }
 
 impl Default for SweepConfig {
     fn default() -> SweepConfig {
-        SweepConfig { jobs: 1, cache: None, trace_dir: None, collect_metrics: false }
+        SweepConfig {
+            jobs: 1,
+            cache: None,
+            trace_dir: None,
+            collect_metrics: false,
+            des_threads: 1,
+        }
     }
 }
 
@@ -299,9 +311,29 @@ impl SweepConfig {
         self
     }
 
+    /// Advertise a DES worker-thread budget to every job (see
+    /// [`des_threads`]).
+    pub fn with_des_threads(mut self, n: usize) -> SweepConfig {
+        self.des_threads = n.max(1);
+        self
+    }
+
     fn capture(&self) -> bool {
         self.collect_metrics || self.trace_dir.is_some()
     }
+}
+
+thread_local! {
+    static DES_THREADS: Cell<usize> = const { Cell::new(1) };
+}
+
+/// The DES worker-thread budget for the currently executing sweep job
+/// (from [`SweepConfig::des_threads`]; `1` outside the engine). PDES-aware
+/// figures pass this to their sharded worlds. The parallel engine is
+/// deterministic — results must never depend on this value — which is why
+/// it rides a thread-local instead of the cache key.
+pub fn des_threads() -> usize {
+    DES_THREADS.with(|c| c.get())
 }
 
 /// Per-job entry of a [`FigureMetrics`] record.
@@ -431,13 +463,16 @@ pub fn run_figure(spec: FigureSpec, cfg: &SweepConfig) -> (FigureResult, RunStat
     // thread-local trace capture brackets exactly that job's simulation.
     let workers = cfg.jobs.max(1).min(pending.len().max(1));
     let exec = |i: usize| -> JobOutcome {
-        if capture {
+        DES_THREADS.with(|c| c.set(cfg.des_threads.max(1)));
+        let out = if capture {
             trace::capture_begin();
             let v = (spec.jobs[i].run)();
             (v, trace::capture_end())
         } else {
             ((spec.jobs[i].run)(), None)
-        }
+        };
+        DES_THREADS.with(|c| c.set(1));
+        out
     };
     let fresh: Vec<Mutex<Option<JobOutcome>>> =
         pending.iter().map(|_| Mutex::new(None)).collect();

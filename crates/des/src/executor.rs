@@ -19,11 +19,36 @@
 //! step completing, a barrier releasing) then costs one heap pop for the whole
 //! bucket instead of one sift-down per event, and scheduling into an existing
 //! instant is O(1).
+//!
+//! # Tie-breaking at equal timestamps
+//!
+//! Every event carries a monotone **scheduling sequence number** (`seq`),
+//! assigned at push time by [`SimCore::schedule`]. Within one instant, events
+//! fire in ascending seq — i.e. *the order they were scheduled*, regardless
+//! of which task scheduled them. This is the complete tie-break contract;
+//! there is no secondary key. The push sites, audited:
+//!
+//! * [`SimHandle::sleep`] / [`SimHandle::sleep_until`] — the timer registers
+//!   its wake on **first poll**, so two sleeps with the same deadline fire in
+//!   the order the sleeping tasks first polled (for freshly spawned tasks:
+//!   spawn order).
+//! * [`SimHandle::call_at`] — scheduled immediately at call time.
+//! * Channel/oneshot/`Notify`/semaphore wakes — not events at all: wakers go
+//!   straight onto the ready FIFO and run at the *current* instant, ordered
+//!   by wake order.
+//! * Fluid-pool completions ([`crate::FluidPool`]) — the one exception: a
+//!   pool's pending completions take the seq of the pool's **most recent
+//!   rebalance** (see [`Bucket`]) and order among themselves by flow uid.
+//!
+//! Two runs of the same program therefore produce byte-identical schedules,
+//! and the parallel mode ([`crate::pdes`]) reuses the same counter when it
+//! merges cross-partition events, so its schedules are reproducible too.
 
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::future::Future;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::pin::Pin;
 use std::rc::Rc;
 use std::sync::{Arc, Mutex};
@@ -69,6 +94,33 @@ impl Bucket {
     }
 }
 
+/// Multiplicative hasher for the bucket table, whose keys are single `u64`
+/// timestamps. The default SipHash showed up as the dominant per-event cost
+/// in `des_events/sleep_chain_100k` (every push and pop does a bucket-table
+/// probe); one Fibonacci-style multiply mixes the low picosecond bits into
+/// the high bits hashbrown uses for control bytes, which is plenty for
+/// timestamps and costs ~1ns. Not DoS-resistant — irrelevant for a simulator
+/// hashing its own clock values.
+#[derive(Default)]
+struct TimeHasher(u64);
+
+impl Hasher for TimeHasher {
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 29;
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// Time-bucketed pending-event queue.
 ///
 /// Invariant: a timestamp is in `times` **iff** `buckets` holds a non-empty
@@ -79,7 +131,7 @@ impl Bucket {
 struct EventQueue {
     /// Distinct pending timestamps (min-heap).
     times: BinaryHeap<Reverse<SimTime>>,
-    buckets: HashMap<SimTime, Bucket>,
+    buckets: HashMap<SimTime, Bucket, BuildHasherDefault<TimeHasher>>,
     /// Drained buckets kept for reuse, so steady-state scheduling is
     /// allocation-free.
     spare: Vec<Bucket>,
@@ -161,6 +213,11 @@ impl EventQueue {
             }
         }
         Some((time, action))
+    }
+
+    /// Earliest pending timestamp, if any.
+    fn peek_time(&self) -> Option<SimTime> {
+        self.times.peek().map(|&Reverse(t)| t)
     }
 
     /// Pre-size for `additional` more events beyond the current count.
@@ -470,6 +527,29 @@ impl Sim {
     /// silently half-finished simulation would corrupt every measurement
     /// derived from it.
     pub fn run(&mut self) -> SimTime {
+        self.run_bounded(None);
+        self.assert_quiescent();
+        self.handle.core.now()
+    }
+
+    /// Run until every pending event at times **strictly before** `horizon`
+    /// has fired and the ready queue is drained, then stop without advancing
+    /// the clock further.
+    ///
+    /// This is the epoch step of the conservative parallel mode
+    /// ([`crate::pdes`]): events at or beyond the horizon stay queued, tasks
+    /// blocked on them stay blocked, and a later `run_until` (or [`Sim::run`])
+    /// resumes seamlessly. Within the horizon the schedule is identical to
+    /// what an unbounded [`Sim::run`] would produce — the bound only decides
+    /// *where to pause*, never the order of events.
+    ///
+    /// Returns the earliest still-pending event time (necessarily
+    /// `>= horizon`), or `None` if the queue is empty.
+    pub fn run_until(&mut self, horizon: SimTime) -> Option<SimTime> {
+        self.run_bounded(Some(horizon))
+    }
+
+    fn run_bounded(&mut self, horizon: Option<SimTime>) -> Option<SimTime> {
         let core = &self.handle.core;
         loop {
             core.commit_staged();
@@ -500,7 +580,14 @@ impl Sim {
                 }
                 core.commit_staged();
             }
-            // Phase 2: advance time to the next event.
+            // Phase 2: advance time to the next event (stopping at the
+            // horizon, when one is set).
+            if let Some(h) = horizon {
+                match core.events.borrow().peek_time() {
+                    Some(t) if t < h => {}
+                    other => return other,
+                }
+            }
             let entry = {
                 let flow_seq = core.flow_seq.borrow();
                 core.events.borrow_mut().pop(&flow_seq)
@@ -514,16 +601,32 @@ impl Sim {
                         EventAction::Call(f) => f(),
                     }
                 }
-                None => break,
+                None => return None,
             }
         }
-        let leaked = core.live_tasks.get();
+    }
+
+    /// Earliest pending event time, or `None` if the event queue is empty.
+    /// Tasks parked on channels/notifies without a timer do not count.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.handle.core.events.borrow().peek_time()
+    }
+
+    /// Number of spawned tasks that have not yet completed.
+    pub fn live_tasks(&self) -> usize {
+        self.handle.core.live_tasks.get()
+    }
+
+    /// Panic unless every spawned task has completed — the same deadlock
+    /// check [`Sim::run`] performs, exposed so the parallel mode can assert
+    /// it per shard after global quiescence.
+    pub fn assert_quiescent(&self) {
+        let leaked = self.handle.core.live_tasks.get();
         assert!(
             leaked == 0,
             "simulation deadlock: {leaked} task(s) still blocked at t={}",
-            core.now()
+            self.handle.core.now()
         );
-        core.now()
     }
 
     /// Current simulated instant.
@@ -679,5 +782,77 @@ mod tests {
         }
         sim.run();
         assert_eq!(*log.borrow(), vec![1, 2, 0]);
+    }
+
+    /// Pins the documented seq tie-break: same-instant events fire in the
+    /// order they were *scheduled*, across sleeps and call_at alike. Sleeps
+    /// register on first poll, so the task spawned first schedules first
+    /// even though the call_at below was issued before either task polled.
+    #[test]
+    fn same_instant_events_fire_in_schedule_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let t = SimTime::from_ps(50000);
+        {
+            let l = Rc::clone(&log);
+            h.call_at(t, move || l.borrow_mut().push("call"));
+        }
+        for name in ["first", "second"] {
+            let h2 = sim.handle();
+            let l = Rc::clone(&log);
+            sim.spawn(async move {
+                h2.sleep_until(t).await;
+                l.borrow_mut().push(name);
+            });
+        }
+        sim.run();
+        // call_at scheduled before either task first polled its sleep.
+        assert_eq!(*log.borrow(), vec!["call", "first", "second"]);
+    }
+
+    #[test]
+    fn run_until_pauses_and_resumes_identically() {
+        // Reference: one unbounded run.
+        let run_log = |horizons: &[u64]| {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let mut sim = Sim::new(7);
+            for id in 0..4u64 {
+                let h = sim.handle();
+                let l = Rc::clone(&log);
+                sim.spawn(async move {
+                    for step in 0..5u64 {
+                        h.sleep(SimDuration::from_ns(10 + id)).await;
+                        l.borrow_mut().push((h.now().as_ps(), id, step));
+                    }
+                });
+            }
+            for &hz in horizons {
+                let next = sim.run_until(SimTime::from_ps(hz));
+                if let Some(t) = next {
+                    assert!(t >= SimTime::from_ps(hz));
+                }
+            }
+            sim.run();
+            Rc::try_unwrap(log).unwrap().into_inner()
+        };
+        let serial = run_log(&[]);
+        let chunked = run_log(&[1, 12_000, 25_000, 25_001, 60_000]);
+        assert_eq!(serial, chunked);
+    }
+
+    #[test]
+    fn run_until_reports_next_pending_event() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        sim.spawn(async move {
+            h.sleep(SimDuration::from_ns(100)).await;
+        });
+        assert_eq!(sim.run_until(SimTime::from_ps(1000)), Some(SimTime::from_ps(100000)));
+        assert_eq!(sim.next_event_time(), Some(SimTime::from_ps(100000)));
+        assert_eq!(sim.live_tasks(), 1);
+        assert_eq!(sim.run_until(SimTime::from_ps(1000000)), None);
+        assert_eq!(sim.live_tasks(), 0);
+        sim.assert_quiescent();
     }
 }

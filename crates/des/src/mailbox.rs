@@ -1,0 +1,106 @@
+//! Cross-partition mailboxes for the parallel execution mode.
+//!
+//! One mailbox connects one ordered `(source shard, destination shard)`
+//! pair: a single producer stamps each item with a per-pair sequence number
+//! and pushes; the single consumer drains everything in one batch at an
+//! epoch boundary. Producer and consumer never touch the mailbox in the same
+//! phase of the epoch protocol (sends happen strictly between barriers,
+//! drains strictly at them), so the internal mutex is uncontended in steady
+//! state — it exists to make the handoff safe without `unsafe` code, not to
+//! arbitrate concurrent access.
+
+use std::cell::Cell;
+use std::sync::{Arc, Mutex};
+
+struct Inner<T> {
+    queue: Mutex<Vec<(u64, T)>>,
+}
+
+/// Producer half of a mailbox. Single-producer by construction: the engine
+/// hands each shard exactly one sender per destination, and a shard lives on
+/// one thread. (`Cell` for the stamp keeps it `Send` but not `Sync`,
+/// enforcing that at the type level.)
+pub struct MailboxSender<T> {
+    inner: Arc<Inner<T>>,
+    next_seq: Cell<u64>,
+}
+
+/// Consumer half of a mailbox, owned by the destination shard.
+pub struct MailboxReceiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Create a connected sender/receiver pair.
+pub fn mailbox<T: Send>() -> (MailboxSender<T>, MailboxReceiver<T>) {
+    let inner = Arc::new(Inner {
+        queue: Mutex::new(Vec::new()),
+    });
+    (
+        MailboxSender {
+            inner: Arc::clone(&inner),
+            next_seq: Cell::new(0),
+        },
+        MailboxReceiver { inner },
+    )
+}
+
+impl<T> MailboxSender<T> {
+    /// Enqueue `item`, returning the per-pair sequence number stamped on it.
+    /// Stamps are dense (0, 1, 2, …) in send order, which the receiver uses
+    /// as the final tie-break when merging mailboxes deterministically.
+    pub fn send(&self, item: T) -> u64 {
+        let seq = self.next_seq.get();
+        self.next_seq.set(seq + 1);
+        self.inner
+            .queue
+            .lock()
+            .expect("mailbox poisoned")
+            .push((seq, item));
+        seq
+    }
+}
+
+impl<T> MailboxReceiver<T> {
+    /// Move every queued item into `out` (appended in send order). Returns
+    /// the number drained.
+    pub fn drain_into(&self, out: &mut Vec<(u64, T)>) -> usize {
+        let mut q = self.inner.queue.lock().expect("mailbox poisoned");
+        let n = q.len();
+        out.append(&mut q);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_are_dense_and_drain_preserves_order() {
+        let (tx, rx) = mailbox::<&'static str>();
+        assert_eq!(tx.send("a"), 0);
+        assert_eq!(tx.send("b"), 1);
+        let mut out = Vec::new();
+        assert_eq!(rx.drain_into(&mut out), 2);
+        assert_eq!(out, vec![(0, "a"), (1, "b")]);
+        assert_eq!(rx.drain_into(&mut out), 0);
+        assert_eq!(tx.send("c"), 2);
+        rx.drain_into(&mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[2], (2, "c"));
+    }
+
+    #[test]
+    fn crosses_threads() {
+        let (tx, rx) = mailbox::<u64>();
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i);
+            }
+        });
+        h.join().unwrap();
+        let mut out = Vec::new();
+        assert_eq!(rx.drain_into(&mut out), 100);
+        assert!(out.iter().enumerate().all(|(i, &(s, v))| s == i as u64 && v == i as u64));
+    }
+}

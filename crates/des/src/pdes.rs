@@ -1,0 +1,824 @@
+//! Conservative parallel execution of a partitioned simulation world.
+//!
+//! The serial executor ([`crate::Sim`]) is single-threaded by design: worlds
+//! are built from `Rc`/`RefCell` state and every figure's byte-identical
+//! golden depends on its deterministic schedule. This module parallelizes
+//! *across partitions instead of within one world*: the caller splits the
+//! model into `shards` — each an ordinary, fully independent [`Sim`] — and
+//! the engine co-schedules them on worker threads under a classic
+//! **conservative (Chandy–Misra style) barrier-epoch protocol**:
+//!
+//! 1. at a barrier, every shard drains its incoming [`crate::mailbox`]es
+//!    into a reorder buffer and publishes its earliest pending time;
+//! 2. the global minimum `m` of those times defines the epoch horizon
+//!    `m + window` (the *window* is at most the configured **lookahead**);
+//! 3. every shard delivers buffered cross-partition events with time below
+//!    the horizon — in canonical `(time, order key, source, seq)` order —
+//!    and runs its own event loop up to the horizon ([`Sim::run_until`]);
+//! 4. repeat until every shard is out of events, which is global
+//!    quiescence: sends only happen while events execute, and all sends
+//!    from epoch *k* are visible to the barrier of epoch *k+1*.
+//!
+//! Safety argument: a shard processing an event at time `t ≥ m` may send
+//! only with delivery time `≥ t + lookahead ≥ m + lookahead ≥ horizon`
+//! (enforced by [`Router::send`] at runtime), so no message can arrive into
+//! the past of any shard. Determinism argument: the horizon sequence is a
+//! pure function of the shard schedules, delivery order within an epoch is
+//! canonical, and per-shard execution is the serial executor — so the
+//! complete behaviour is a function of `(partition, seed)` only, **not** of
+//! the thread count. `threads = 1` runs the identical epoch protocol inline
+//! and is the differential-testing reference.
+//!
+//! The caller supplies the lookahead; for torus machines it is derived from
+//! the minimum cross-node message latency of the `MachineSpec` (see
+//! `xtsim-net`'s analytic layer).
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::executor::{Sim, SimHandle};
+use crate::mailbox::{mailbox, MailboxReceiver, MailboxSender};
+use crate::time::{SimDuration, SimTime};
+use crate::trace;
+
+/// Configuration for one partitioned run.
+#[derive(Debug, Clone)]
+pub struct PdesConfig {
+    /// Number of partitions (independent [`Sim`] worlds). Results are a
+    /// function of the partition, so figures pin this to a fixed value.
+    pub shards: usize,
+    /// Worker threads (clamped to `shards`). Never affects results.
+    pub threads: usize,
+    /// Conservative lookahead: the minimum latency of any cross-partition
+    /// message. [`Router::send`] enforces it per send. Must be positive.
+    pub lookahead: SimDuration,
+    /// Seed handed to **every** shard's `Sim`, so a rank's RNG streams are
+    /// identical no matter which shard hosts it.
+    pub seed: u64,
+    /// Optional cap on the epoch window (clamped to `lookahead`). Shrinking
+    /// it below the lookahead adds barriers without changing results —
+    /// that's the point: stress tests perturb it to prove schedule
+    /// independence.
+    pub window: Option<SimDuration>,
+    /// Record one log entry per cross-partition delivery (for differential
+    /// event-log diffs).
+    pub log_wire: bool,
+}
+
+impl PdesConfig {
+    /// A config with the given partitioning and lookahead, defaulting to
+    /// one thread, seed 0, full window, wire logging off.
+    pub fn new(shards: usize, threads: usize, lookahead: SimDuration) -> PdesConfig {
+        PdesConfig {
+            shards,
+            threads,
+            lookahead,
+            seed: 0,
+            window: None,
+            log_wire: false,
+        }
+    }
+}
+
+/// A cross-partition event as seen by the destination shard's handler.
+pub struct RemoteEnvelope {
+    /// Simulated delivery time (the handler runs exactly then).
+    pub at: SimTime,
+    /// Caller-chosen canonical merge key; same-instant deliveries fire in
+    /// ascending `order`. Senders must make `(at, order)` collision-free
+    /// per destination for partition-invariant behaviour (e.g.
+    /// `(source rank, per-source sequence)`).
+    pub order: (u64, u64),
+    /// Shard the event came from (== destination for self-sends).
+    pub src_shard: usize,
+    /// The message itself; the handler downcasts to the scenario's type.
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// One log line of a partitioned run (scenario entries via [`PdesLogger`],
+/// wire entries when [`PdesConfig::log_wire`] is set). Merged logs are
+/// sorted by `(at, key)`, so keys must be globally meaningful.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Simulated time of the entry.
+    pub at: SimTime,
+    /// Canonical sort key within an instant.
+    pub key: (u64, u64),
+    /// True for engine-generated cross-partition delivery records.
+    pub wire: bool,
+    /// Free-form description.
+    pub text: String,
+}
+
+/// Shard-local log sink; entries from all shards are merged in `(at, key)`
+/// order into [`PdesOutcome::log`].
+#[derive(Clone)]
+pub struct PdesLogger {
+    handle: SimHandle,
+    entries: Rc<RefCell<Vec<LogEntry>>>,
+}
+
+impl PdesLogger {
+    /// Record `text` at the current simulated instant under `key`.
+    pub fn log(&self, key: (u64, u64), text: String) {
+        self.entries.borrow_mut().push(LogEntry {
+            at: self.handle.now(),
+            key,
+            wire: false,
+            text,
+        });
+    }
+}
+
+/// Wire format of one mailbox item (engine-internal).
+struct WireItem {
+    at: SimTime,
+    order: (u64, u64),
+    payload: Box<dyn Any + Send>,
+}
+
+type Handler = Rc<dyn Fn(RemoteEnvelope)>;
+type HandlerSlot = Rc<RefCell<Option<Handler>>>;
+
+struct RouterInner {
+    shard: usize,
+    handle: SimHandle,
+    lookahead: SimDuration,
+    /// Sender to every other shard (`None` at our own index).
+    senders: Vec<Option<MailboxSender<WireItem>>>,
+    handler: HandlerSlot,
+    /// Per-destination stamp for self-sends (mirrors the mailbox stamp so
+    /// self and remote deliveries share one key space).
+    self_seq: Cell<u64>,
+    remote_msgs: Arc<AtomicU64>,
+}
+
+/// A shard's outgoing edge to every other shard. Cheaply cloneable into
+/// tasks; all sends are checked against the lookahead contract.
+#[derive(Clone)]
+pub struct Router {
+    inner: Rc<RouterInner>,
+}
+
+impl Router {
+    /// Send `payload` for delivery to shard `to` at time `at`.
+    ///
+    /// Panics if `at < now + lookahead` — a lookahead violation would let a
+    /// message arrive in a peer's past and silently corrupt the schedule,
+    /// so it is a hard error the differential harness can catch.
+    pub fn send(&self, to: usize, at: SimTime, order: (u64, u64), payload: Box<dyn Any + Send>) {
+        let r = &*self.inner;
+        let now = r.handle.now();
+        assert!(
+            at >= now + r.lookahead,
+            "PDES lookahead violation: shard {} sending to {} at t={at} from now={now} \
+             (lookahead {})",
+            r.shard,
+            to,
+            r.lookahead,
+        );
+        if to == r.shard {
+            // Self-sends take the same delivery path (handler invocation at
+            // `at`) without touching a mailbox.
+            let seq = r.self_seq.get();
+            r.self_seq.set(seq + 1);
+            let handler = Rc::clone(&r.handler);
+            let env = RemoteEnvelope {
+                at,
+                order,
+                src_shard: to,
+                payload,
+            };
+            r.handle.call_at(at, move || {
+                let h = handler.borrow().clone().expect("shard has no on_remote handler");
+                h(env);
+            });
+        } else {
+            r.remote_msgs.fetch_add(1, Ordering::Relaxed);
+            r.senders[to]
+                .as_ref()
+                .expect("sender for remote shard")
+                .send(WireItem { at, order, payload });
+        }
+    }
+
+    /// The configured lookahead (minimum legal send latency).
+    pub fn lookahead(&self) -> SimDuration {
+        self.inner.lookahead
+    }
+}
+
+/// Everything a shard's builder needs: identity, the shard's [`SimHandle`]
+/// for spawning tasks, the [`Router`] for cross-partition sends, and the
+/// shard's [`PdesLogger`].
+pub struct ShardCtx {
+    shard: usize,
+    shards: usize,
+    handle: SimHandle,
+    router: Router,
+    logger: PdesLogger,
+    handler: HandlerSlot,
+}
+
+impl ShardCtx {
+    /// This shard's index in `0..shards`.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Total number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Handle into this shard's private simulation.
+    pub fn handle(&self) -> SimHandle {
+        self.handle.clone()
+    }
+
+    /// Outgoing edge to the other shards.
+    pub fn router(&self) -> Router {
+        self.router.clone()
+    }
+
+    /// This shard's log sink.
+    pub fn logger(&self) -> PdesLogger {
+        self.logger.clone()
+    }
+
+    /// Install the handler invoked (at the delivery instant, inside this
+    /// shard's simulation) for every envelope routed to this shard. A shard
+    /// that receives anything must install exactly one handler.
+    pub fn on_remote(&self, f: impl Fn(RemoteEnvelope) + 'static) {
+        *self.handler.borrow_mut() = Some(Rc::new(f));
+    }
+}
+
+/// Result of [`run_partitioned`].
+#[derive(Debug)]
+pub struct PdesOutcome<R> {
+    /// Per-shard results, in shard order.
+    pub results: Vec<R>,
+    /// Latest simulated instant reached by any shard.
+    pub end_time: SimTime,
+    /// Number of barrier epochs executed.
+    pub epochs: u64,
+    /// Cross-partition (mailbox) messages routed.
+    pub remote_messages: u64,
+    /// Merged log, sorted by `(at, key)` (stable, so per-key program order
+    /// is preserved).
+    pub log: Vec<LogEntry>,
+}
+
+// ----------------------------------------------------------------- barrier
+
+/// Sense-reversing barrier that can be poisoned: when a worker panics, it
+/// poisons the barrier so every peer returns `Err` instead of deadlocking
+/// on a participant that will never arrive. (`std::sync::Barrier` offers no
+/// such escape.)
+struct PoisonBarrier {
+    n: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+struct BarrierState {
+    count: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+struct BarrierPoisoned;
+
+impl PoisonBarrier {
+    fn new(n: usize) -> PoisonBarrier {
+        PoisonBarrier {
+            n,
+            state: Mutex::new(BarrierState {
+                count: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) -> Result<(), BarrierPoisoned> {
+        let mut st = self.state.lock().expect("barrier mutex");
+        if st.poisoned {
+            return Err(BarrierPoisoned);
+        }
+        st.count += 1;
+        if st.count == self.n {
+            st.count = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let gen = st.generation;
+        while st.generation == gen && !st.poisoned {
+            st = self.cv.wait(st).expect("barrier mutex");
+        }
+        if st.poisoned {
+            Err(BarrierPoisoned)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn poison(&self) {
+        self.state.lock().expect("barrier mutex").poisoned = true;
+        self.cv.notify_all();
+    }
+}
+
+// ------------------------------------------------------------------ engine
+
+/// Reorder-buffer key: canonical total order for same-epoch deliveries.
+type ReorderKey = (SimTime, (u64, u64), usize, u64);
+
+struct Seat<R> {
+    shard: usize,
+    sim: Sim,
+    handler: HandlerSlot,
+    /// `(source shard, receiver)` for every other shard.
+    receivers: Vec<(usize, MailboxReceiver<WireItem>)>,
+    reorder: BTreeMap<ReorderKey, Box<dyn Any + Send>>,
+    finish: Option<Box<dyn FnOnce() -> R>>,
+    log: Rc<RefCell<Vec<LogEntry>>>,
+    cap: Option<trace::SuspendedCapture>,
+    drain_scratch: Vec<(u64, WireItem)>,
+}
+
+struct SeatDone<R> {
+    shard: usize,
+    result: R,
+    end: SimTime,
+    log: Vec<LogEntry>,
+    trace_data: Option<trace::TraceData>,
+}
+
+struct Shared {
+    barrier: PoisonBarrier,
+    /// Per-shard earliest pending time in ps (`u64::MAX` = quiescent).
+    next_times: Vec<AtomicU64>,
+    remote_msgs: Arc<AtomicU64>,
+    epochs: AtomicU64,
+}
+
+/// Run `build`-constructed shards to global quiescence under the barrier
+/// epoch protocol and collect their results.
+///
+/// `build` is called once per shard (on that shard's worker thread) to
+/// populate the shard's world; it returns a finisher closure the engine
+/// invokes after quiescence to extract the shard's result. Shards are
+/// distributed round-robin over `min(threads, shards)` workers; with one
+/// worker everything runs inline on the calling thread.
+///
+/// Panics in any shard (including the executor's deadlock check) poison
+/// the barrier and propagate.
+pub fn run_partitioned<R, B, F>(cfg: &PdesConfig, build: B) -> PdesOutcome<R>
+where
+    R: Send,
+    B: Fn(&ShardCtx) -> F + Send + Sync,
+    F: FnOnce() -> R + 'static,
+{
+    assert!(cfg.shards >= 1, "need at least one shard");
+    assert!(cfg.lookahead.as_ps() > 0, "lookahead must be positive");
+    let shards = cfg.shards;
+    let workers = cfg.threads.max(1).min(shards);
+    let window = match cfg.window {
+        Some(w) => SimDuration::from_ps(w.as_ps().clamp(1, cfg.lookahead.as_ps())),
+        None => cfg.lookahead,
+    };
+
+    // Mailbox matrix: one SPSC channel per ordered pair of distinct shards.
+    let mut senders: Vec<Vec<Option<MailboxSender<WireItem>>>> = Vec::with_capacity(shards);
+    let mut receivers: Vec<Vec<(usize, MailboxReceiver<WireItem>)>> =
+        (0..shards).map(|_| Vec::new()).collect();
+    for s in 0..shards {
+        let mut row = Vec::with_capacity(shards);
+        for (d, dst_rx) in receivers.iter_mut().enumerate() {
+            if s == d {
+                row.push(None);
+            } else {
+                let (tx, rx) = mailbox();
+                row.push(Some(tx));
+                dst_rx.push((s, rx));
+            }
+        }
+        senders.push(row);
+    }
+
+    let shared = Shared {
+        barrier: PoisonBarrier::new(workers),
+        next_times: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+        remote_msgs: Arc::new(AtomicU64::new(0)),
+        epochs: AtomicU64::new(0),
+    };
+
+    // Suspend any capture on the calling thread: shards capture their own
+    // spans (even when running inline) and we merge them in shard order.
+    let capturing = trace::capture_active();
+    let parent_cap = if capturing {
+        Some(trace::capture_suspend())
+    } else {
+        None
+    };
+
+    // Hand each worker its round-robin set of (shard index, receivers, senders).
+    let mut per_worker: Vec<Vec<SeatSpec>> = (0..workers).map(|_| Vec::new()).collect();
+    for (s, (rx_row, tx_row)) in receivers.into_iter().zip(senders).enumerate() {
+        per_worker[s % workers].push((s, rx_row, tx_row));
+    }
+
+    let mut done: Vec<Option<SeatDone<R>>> = (0..shards).map(|_| None).collect();
+    if workers == 1 {
+        let seats = per_worker.pop().expect("one worker");
+        let out = worker_body(cfg, window, capturing, &shared, &build, seats);
+        for d in out.expect("single worker cannot be poisoned by a peer") {
+            let slot = d.shard;
+            done[slot] = Some(d);
+        }
+    } else {
+        let mut panics: Vec<Box<dyn Any + Send>> = Vec::new();
+        let mut outs: Vec<Vec<SeatDone<R>>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for seats in per_worker {
+                let shared = &shared;
+                let build = &build;
+                handles.push(scope.spawn(move || {
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        worker_body(cfg, window, capturing, shared, build, seats)
+                    }));
+                    if r.is_err() {
+                        shared.barrier.poison();
+                    }
+                    r
+                }));
+            }
+            for h in handles {
+                match h.join().expect("worker wrapper never panics") {
+                    Ok(Some(v)) => outs.push(v),
+                    Ok(None) => {} // aborted because a peer poisoned the barrier
+                    Err(p) => panics.push(p),
+                }
+            }
+        });
+        if let Some(p) = panics.into_iter().next() {
+            if let Some(p) = parent_cap {
+                trace::capture_resume(p);
+            }
+            resume_unwind(p);
+        }
+        for d in outs.into_iter().flatten() {
+            let slot = d.shard;
+            done[slot] = Some(d);
+        }
+    }
+
+    if let Some(p) = parent_cap {
+        trace::capture_resume(p);
+    }
+
+    let mut results = Vec::with_capacity(shards);
+    let mut log = Vec::new();
+    let mut end_time = SimTime::ZERO;
+    for d in done.into_iter() {
+        let d = d.expect("all shards completed");
+        end_time = end_time.max(d.end);
+        log.extend(d.log);
+        if let Some(t) = d.trace_data {
+            trace::capture_absorb(t);
+        }
+        results.push(d.result);
+    }
+    log.sort_by_key(|e| (e.at, e.key));
+    PdesOutcome {
+        results,
+        end_time,
+        epochs: shared.epochs.load(Ordering::Relaxed),
+        remote_messages: shared.remote_msgs.load(Ordering::Relaxed),
+        log,
+    }
+}
+
+/// One shard's seat at a worker: `(shard index, per-source receivers,
+/// per-destination senders)`.
+type SeatSpec = (
+    usize,
+    Vec<(usize, MailboxReceiver<WireItem>)>,
+    Vec<Option<MailboxSender<WireItem>>>,
+);
+
+/// Returns `None` iff the barrier was poisoned by a peer's panic.
+fn worker_body<R, B, F>(
+    cfg: &PdesConfig,
+    window: SimDuration,
+    capturing: bool,
+    shared: &Shared,
+    build: &B,
+    seat_specs: Vec<SeatSpec>,
+) -> Option<Vec<SeatDone<R>>>
+where
+    B: Fn(&ShardCtx) -> F,
+    F: FnOnce() -> R + 'static,
+{
+    // Build every seat: a private Sim plus the shard's scenario tasks.
+    let mut seats: Vec<Seat<R>> = Vec::with_capacity(seat_specs.len());
+    for (shard, rx_row, tx_row) in seat_specs {
+        let sim = Sim::new(cfg.seed);
+        let handler: HandlerSlot = Rc::new(RefCell::new(None));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let ctx = ShardCtx {
+            shard,
+            shards: cfg.shards,
+            handle: sim.handle(),
+            router: Router {
+                inner: Rc::new(RouterInner {
+                    shard,
+                    handle: sim.handle(),
+                    lookahead: cfg.lookahead,
+                    senders: tx_row,
+                    handler: Rc::clone(&handler),
+                    self_seq: Cell::new(0),
+                    remote_msgs: Arc::clone(&shared.remote_msgs),
+                }),
+            },
+            logger: PdesLogger {
+                handle: sim.handle(),
+                entries: Rc::clone(&log),
+            },
+            handler: Rc::clone(&handler),
+        };
+        let mut seat = Seat {
+            shard,
+            sim,
+            handler,
+            receivers: rx_row,
+            reorder: BTreeMap::new(),
+            finish: None,
+            log,
+            cap: None,
+            drain_scratch: Vec::new(),
+        };
+        if capturing {
+            trace::capture_begin();
+        }
+        let fin = build(&ctx);
+        // Initial drain: run t=0 ready tasks so timers exist before the
+        // first publish (a fresh task has no events queued until it polls).
+        seat.sim.run_until(SimTime::ZERO);
+        if capturing {
+            seat.cap = Some(trace::capture_suspend());
+        }
+        seat.finish = Some(Box::new(fin));
+        seats.push(seat);
+    }
+
+    let mut epochs = 0u64;
+    loop {
+        // Barrier A: all sends of the previous epoch are now visible.
+        if shared.barrier.wait().is_err() {
+            return None;
+        }
+        for seat in &mut seats {
+            for (src, rx) in &seat.receivers {
+                seat.drain_scratch.clear();
+                rx.drain_into(&mut seat.drain_scratch);
+                for (pair_seq, item) in seat.drain_scratch.drain(..) {
+                    seat.reorder
+                        .insert((item.at, item.order, *src, pair_seq), item.payload);
+                }
+            }
+            let next = [
+                seat.sim.next_event_time(),
+                seat.reorder.keys().next().map(|k| k.0),
+            ]
+            .into_iter()
+            .flatten()
+            .min();
+            shared.next_times[seat.shard].store(
+                next.map_or(u64::MAX, SimTime::as_ps),
+                Ordering::Release,
+            );
+        }
+        // Barrier B: every shard's published time is now visible.
+        if shared.barrier.wait().is_err() {
+            return None;
+        }
+        let gmin = (0..cfg.shards)
+            .map(|s| shared.next_times[s].load(Ordering::Acquire))
+            .min()
+            .expect("at least one shard");
+        if gmin == u64::MAX {
+            break; // Global quiescence: no events, no in-flight messages.
+        }
+        epochs += 1;
+        let horizon = SimTime::from_ps(gmin).saturating_add(window);
+        for seat in &mut seats {
+            if capturing {
+                match seat.cap.take() {
+                    Some(c) => trace::capture_resume(c),
+                    None => trace::capture_begin(),
+                }
+            }
+            // Deliver buffered remote events inside the horizon, in
+            // canonical order, as ordinary scheduled events.
+            while let Some(entry) = seat.reorder.first_entry() {
+                let &(at, order, src, _) = entry.key();
+                if at >= horizon {
+                    break;
+                }
+                let payload = entry.remove();
+                let env = RemoteEnvelope {
+                    at,
+                    order,
+                    src_shard: src,
+                    payload,
+                };
+                if cfg.log_wire {
+                    seat.log.borrow_mut().push(LogEntry {
+                        at,
+                        key: order,
+                        wire: true,
+                        text: format!("wire {}->{} deliver", src, seat.shard),
+                    });
+                }
+                let handler = Rc::clone(&seat.handler);
+                seat.sim.handle().call_at(at, move || {
+                    let h = handler.borrow().clone().expect("shard has no on_remote handler");
+                    h(env);
+                });
+            }
+            seat.sim.run_until(horizon);
+            if capturing {
+                seat.cap = Some(trace::capture_suspend());
+            }
+        }
+    }
+    shared.epochs.store(epochs, Ordering::Relaxed);
+
+    Some(
+        seats
+            .into_iter()
+            .map(|mut seat| {
+                seat.sim.assert_quiescent();
+                let fin = seat.finish.take().expect("finisher present");
+                let result = if capturing {
+                    match seat.cap.take() {
+                        Some(c) => trace::capture_resume(c),
+                        None => trace::capture_begin(),
+                    }
+                    let r = fin();
+                    seat.cap = Some(trace::capture_suspend());
+                    r
+                } else {
+                    fin()
+                };
+                SeatDone {
+                    shard: seat.shard,
+                    result,
+                    end: seat.sim.now(),
+                    log: std::mem::take(&mut *seat.log.borrow_mut()),
+                    trace_data: seat.cap.take().and_then(trace::SuspendedCapture::into_data),
+                }
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ping_pong_config(shards: usize, threads: usize) -> PdesConfig {
+        let mut cfg = PdesConfig::new(shards, threads, SimDuration::from_ns(100));
+        cfg.log_wire = true;
+        cfg
+    }
+
+    /// Two shards bounce a counter back and forth `rounds` times; each hop
+    /// takes exactly the lookahead. Returns (per-shard hop counts, outcome
+    /// metadata) for cross-checking.
+    fn run_ping_pong(cfg: &PdesConfig, rounds: u64) -> PdesOutcome<u64> {
+        run_partitioned(cfg, move |ctx| {
+            let hops = Rc::new(Cell::new(0u64));
+            let router = ctx.router();
+            let logger = ctx.logger();
+            let me = ctx.shard();
+            let peer = 1 - me;
+            {
+                let hops = Rc::clone(&hops);
+                let router = router.clone();
+                let logger = logger.clone();
+                ctx.on_remote(move |env| {
+                    let n = *env.payload.downcast::<u64>().expect("u64 payload");
+                    hops.set(hops.get() + 1);
+                    logger.log((n, 0), format!("hop {n} at shard {me}"));
+                    if n < rounds {
+                        router.send(
+                            peer,
+                            env.at + router.lookahead(),
+                            (n + 1, 0),
+                            Box::new(n + 1),
+                        );
+                    }
+                });
+            }
+            if me == 0 {
+                let h = ctx.handle();
+                let router = router.clone();
+                h.spawn(async move { /* keep a task alive at t=0 */ });
+                let la = router.lookahead();
+                ctx.handle().call_at(SimTime::ZERO + la, move || {
+                    router.send(1, SimTime::ZERO + la + la, (1, 0), Box::new(1u64));
+                });
+            }
+            move || hops.get()
+        })
+    }
+
+    #[test]
+    fn ping_pong_is_thread_invariant() {
+        let rounds = 20;
+        let base = run_ping_pong(&ping_pong_config(2, 1), rounds);
+        assert_eq!(base.results.iter().sum::<u64>(), rounds);
+        assert!(base.epochs > 0);
+        assert_eq!(base.remote_messages, rounds);
+        for threads in [2, 4] {
+            let out = run_ping_pong(&ping_pong_config(2, threads), rounds);
+            assert_eq!(out.results, base.results);
+            assert_eq!(out.end_time, base.end_time);
+            assert_eq!(out.epochs, base.epochs);
+            assert_eq!(out.log, base.log);
+        }
+    }
+
+    #[test]
+    fn window_perturbation_changes_epochs_not_results() {
+        let rounds = 10;
+        let base = run_ping_pong(&ping_pong_config(2, 2), rounds);
+        for window_ps in [1_000, 37_000, 99_999] {
+            let mut cfg = ping_pong_config(2, 2);
+            cfg.window = Some(SimDuration::from_ps(window_ps));
+            let out = run_ping_pong(&cfg, rounds);
+            assert_eq!(out.results, base.results);
+            assert_eq!(out.end_time, base.end_time);
+            assert_eq!(out.log, base.log);
+            assert!(out.epochs >= base.epochs);
+        }
+    }
+
+    #[test]
+    fn single_shard_runs_inline() {
+        let cfg = PdesConfig::new(1, 4, SimDuration::from_ns(1));
+        let out = run_partitioned(&cfg, |ctx| {
+            let h = ctx.handle();
+            let done = Rc::new(Cell::new(0u64));
+            let d = Rc::clone(&done);
+            h.spawn(async move {
+                let h2 = d;
+                h2.set(42);
+            });
+            move || done.get()
+        });
+        assert_eq!(out.results, vec![42]);
+        assert_eq!(out.remote_messages, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead violation")]
+    fn undershooting_lookahead_panics() {
+        let cfg = PdesConfig::new(2, 1, SimDuration::from_ns(100));
+        run_partitioned(&cfg, |ctx| {
+            ctx.on_remote(|_| {});
+            if ctx.shard() == 0 {
+                let router = ctx.router();
+                ctx.handle().call_at(SimTime::from_ps(10000), move || {
+                    router.send(1, SimTime::from_ps(15000), (0, 0), Box::new(0u64));
+                });
+            }
+            || ()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn shard_deadlock_propagates_across_threads() {
+        let cfg = PdesConfig::new(2, 2, SimDuration::from_ns(1));
+        run_partitioned(&cfg, |ctx| {
+            if ctx.shard() == 1 {
+                // Blocks forever on a message that never comes.
+                ctx.handle().spawn(std::future::pending::<()>());
+            }
+            || ()
+        });
+    }
+}

@@ -34,6 +34,8 @@ pub mod rule_id {
     pub const UNSAFE_WITHOUT_SAFETY_COMMENT: &str = "unsafe-without-safety-comment";
     /// An `xtsim-lint:` comment that does not parse.
     pub const MALFORMED_ALLOW: &str = "malformed-allow";
+    /// `static mut` or a non-`Sync` global in a simulator crate.
+    pub const THREAD_SHARED_MUT: &str = "thread-shared-mut";
     /// An allow comment that suppressed nothing.
     pub const UNUSED_ALLOW: &str = "unused-allow";
 }
@@ -188,6 +190,7 @@ pub fn run_rules(ctx: &FileContext, cfg: &Config) -> Vec<Finding> {
     refcell_reentrant_borrow(ctx, cfg, &mut out);
     panic_in_hot_path(ctx, cfg, &mut out);
     unsafe_without_safety_comment(ctx, cfg, &mut out);
+    thread_shared_mut(ctx, cfg, &mut out);
     malformed_allow_comments(ctx, &mut out);
     out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     // `for x in map.iter()` trips both the for-loop and the method-call
@@ -921,6 +924,124 @@ fn unsafe_without_safety_comment(ctx: &FileContext, cfg: &Config, out: &mut Vec<
     }
 }
 
+// ---------------------------------------------------------------------------
+// thread-shared-mut
+
+/// Interior-mutability / shared-ownership types that are not `Sync`: a
+/// global of such a type is exactly the state the parallel DES mode must
+/// not share across shards.
+const NON_SYNC_TYPES: [&str; 4] = ["RefCell", "Cell", "UnsafeCell", "Rc"];
+
+/// Flag `static mut` items and non-`Sync` `static` globals in simulator
+/// crates. The parallel engine runs one world per worker thread; any
+/// process-global mutable state would couple shards and break both memory
+/// safety (for `static mut`) and partition invariance. `thread_local!`
+/// statics are exempt — per-thread state is the sanctioned pattern (trace
+/// capture, sweep knobs).
+fn thread_shared_mut(ctx: &FileContext, cfg: &Config, out: &mut Vec<Finding>) {
+    if !cfg.is_sim_crate(ctx.path) || cfg.rule_allows(rule_id::THREAD_SHARED_MUT, ctx.path) {
+        return;
+    }
+    let tl_spans = thread_local_spans(ctx);
+    let n = ctx.code.len();
+    for i in 0..n {
+        let t = ctx.ct(i);
+        if !t.is_ident("static") || ctx.is_test_line(t.line) {
+            continue;
+        }
+        if tl_spans.iter().any(|&(a, b)| t.line >= a && t.line <= b) {
+            continue;
+        }
+        if i + 1 < n && ctx.ct(i + 1).is_ident("mut") {
+            let name = ctx
+                .code
+                .get(i + 2)
+                .map(|&k| &ctx.tokens[k])
+                .and_then(Token::ident)
+                .unwrap_or("_");
+            out.push(ctx.finding(
+                i,
+                rule_id::THREAD_SHARED_MUT,
+                Severity::Error,
+                format!(
+                    "`static mut {name}` in a simulator crate; the parallel DES mode runs                      shards on worker threads, and writable process globals are a data race                      and a determinism leak"
+                ),
+                "move the state into the Sim world (Rc/RefCell inside one shard), use                  thread_local!, or an atomic with documented ordering",
+            ));
+            continue;
+        }
+        // `static NAME : <type> = …;` — non-Sync type mention in the
+        // annotation. (Such code is usually rejected by rustc too; the lint
+        // exists to catch it in cfg-gated or macro-expanded paths rustc
+        // may not see on every build.)
+        if let Some(colon) = ctx.code.get(i + 2).map(|&k| &ctx.tokens[k]) {
+            if colon.is_punct(':') && ctx.ct(i + 1).ident().is_some() {
+                let name = ctx.ct(i + 1).ident().unwrap_or("_").to_string();
+                if static_type_mentions_non_sync(ctx, i + 3) {
+                    out.push(ctx.finding(
+                        i,
+                        rule_id::THREAD_SHARED_MUT,
+                        Severity::Error,
+                        format!(
+                            "global `static {name}` has a non-Sync type                              (Cell/RefCell/Rc/UnsafeCell); shards on different worker                              threads must not share interior-mutable state"
+                        ),
+                        "wrap per-thread state in thread_local!, or keep it inside the                          shard's Sim world",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Line spans of `thread_local! { … }` invocations.
+fn thread_local_spans(ctx: &FileContext) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let n = ctx.code.len();
+    let mut i = 0;
+    while i + 2 < n {
+        if ctx.ct(i).is_ident("thread_local")
+            && ctx.ct(i + 1).is_punct('!')
+            && ctx.ct(i + 2).is_punct('{')
+        {
+            let open_line = ctx.ct(i + 2).line;
+            let mut depth = 1usize;
+            let mut j = i + 3;
+            while j < n && depth > 0 {
+                match ctx.ct(j).tok {
+                    Tok::Punct('{') => depth += 1,
+                    Tok::Punct('}') => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let close_line = ctx.ct(j.saturating_sub(1)).line;
+            spans.push((open_line, close_line));
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// Does the type annotation starting at code index `i` (after the `:`)
+/// mention a non-`Sync` wrapper before its `=` or `;` at angle-depth 0?
+fn static_type_mentions_non_sync(ctx: &FileContext, mut i: usize) -> bool {
+    let mut angle = 0i32;
+    while i < ctx.code.len() {
+        let t = ctx.ct(i);
+        match &t.tok {
+            Tok::Ident(s) if NON_SYNC_TYPES.contains(&s.as_str()) => return true,
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle -= 1,
+            Tok::Punct('=') | Tok::Punct(';') if angle <= 0 => return false,
+            _ => {}
+        }
+        i += 1;
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1131,6 +1252,39 @@ fn f() -> &'static str {
     "Instant::now() SystemTime unsafe thread_rng"
 }
 "#;
+        assert!(run("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn static_mut_and_non_sync_globals_flagged() {
+        let src = r#"
+static mut COUNTER: u64 = 0;
+static TABLE: std::cell::RefCell<Vec<u32>> = todo!();
+static OK: u64 = 7;
+static ATOMIC: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+"#;
+        let f = run("a.rs", src);
+        let rules: Vec<_> = f.iter().map(|x| x.rule).collect();
+        assert_eq!(rules, vec![rule_id::THREAD_SHARED_MUT; 2], "{f:#?}");
+        assert!(f[0].message.contains("static mut COUNTER"));
+        assert!(f[1].message.contains("TABLE"));
+    }
+
+    #[test]
+    fn thread_local_statics_are_exempt() {
+        let src = r#"
+thread_local! {
+    static DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+    static BUF: std::cell::RefCell<Vec<u8>> = std::cell::RefCell::new(Vec::new());
+}
+fn f() { DEPTH.with(|d| d.get()); }
+"#;
+        assert!(run("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn static_lifetime_is_not_a_static_item() {
+        let src = "fn f(s: &'static str) -> &'static str { s }";
         assert!(run("a.rs", src).is_empty());
     }
 

@@ -114,6 +114,11 @@ fn unsafe_safety_fixture() {
     check_fixture("unsafe_safety.rs");
 }
 
+#[test]
+fn thread_shared_mut_fixture() {
+    check_fixture("thread_shared_mut.rs");
+}
+
 /// The positive cases in every fixture stay findings when no allow comment
 /// covers them — i.e. the goldens above aren't vacuously empty.
 #[test]

@@ -1,0 +1,250 @@
+//! Closed-form (contention-free) wire model for the sharded parallel mode.
+//!
+//! The fluid [`crate::Platform`] shares one global set of link pools across
+//! every rank, which is exactly what a partitioned world cannot have: two
+//! shards may not contend for one `FluidPool` without re-serializing. The
+//! parallel mode therefore prices each message analytically — the same
+//! latency/bandwidth/protocol formula as
+//! [`crate::Platform::message_time_estimate`], but with the *actual* torus
+//! hop distance of the pair instead of the mean — so a message's cost is a
+//! pure function of `(src, dst, bytes)`, independent of which shard computes
+//! it and of everything else in flight. That purity is what makes shard
+//! results partition- and thread-invariant.
+//!
+//! The model also derives the conservative lookahead: no cross-node message
+//! can complete in less than [`MachineSpec::min_remote_latency_s`], and the
+//! analytic collectives split that bound between their gather and release
+//! legs, so [`AnalyticNet::lookahead`] is half of it.
+
+use xtsim_machine::{fit_dims, ExecMode, MachineSpec};
+
+use crate::torus::Torus3D;
+use crate::Rank;
+use xtsim_des::SimDuration;
+
+/// Which analytic collective to price.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CollectiveShape {
+    /// Zero-payload dissemination barrier.
+    Barrier,
+    /// Recursive-doubling allreduce carrying `bytes` per rank.
+    Allreduce {
+        /// Payload per rank, bytes.
+        bytes: u64,
+    },
+}
+
+/// Contention-free network model over a compact torus partition.
+#[derive(Debug, Clone)]
+pub struct AnalyticNet {
+    spec: MachineSpec,
+    mode: ExecMode,
+    torus: Torus3D,
+    ranks: usize,
+    ranks_per_node: usize,
+}
+
+impl AnalyticNet {
+    /// Model a job of `ranks` ranks on `spec` in `mode`, block-placed on
+    /// the smallest near-cubic torus that holds them (same policy as the
+    /// fluid platform's default placement).
+    pub fn new(spec: MachineSpec, mode: ExecMode, ranks: usize) -> AnalyticNet {
+        assert!(ranks >= 1, "need at least one rank");
+        let rpn = spec.ranks_per_node(mode);
+        let nodes = ranks.div_ceil(rpn);
+        let torus = Torus3D::new(fit_dims(nodes));
+        AnalyticNet {
+            spec,
+            mode,
+            torus,
+            ranks,
+            ranks_per_node: rpn,
+        }
+    }
+
+    /// Number of ranks in the job.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// The machine description.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// Execution mode (SN/VN).
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// The torus partition backing the job.
+    pub fn torus(&self) -> &Torus3D {
+        &self.torus
+    }
+
+    /// Node hosting `rank` (block placement).
+    pub fn node_of(&self, rank: Rank) -> usize {
+        rank / self.ranks_per_node
+    }
+
+    fn overhead_s(&self) -> f64 {
+        let n = &self.spec.nic;
+        let o_us = n.sw_overhead_us
+            + match self.mode {
+                ExecMode::SN => 0.0,
+                ExecMode::VN => n.vn_extra_overhead_us,
+            };
+        o_us * 1e-6
+    }
+
+    fn wire_bw(&self) -> f64 {
+        let n = &self.spec.nic;
+        (n.injection_bw_gbs * 1e9 / 2.0).min(n.link_bw_gbs * 1e9)
+    }
+
+    fn protocol_extra_s(&self, bytes: u64) -> f64 {
+        if bytes > self.spec.nic.eager_threshold_bytes {
+            self.spec.nic.rendezvous_latency_us * 1e-6
+        } else {
+            0.0
+        }
+    }
+
+    /// Completion time of one message from `src` to `dst`: software
+    /// overhead, per-hop router latency along the actual route, serialized
+    /// payload at the injection/link bottleneck, and the rendezvous
+    /// handshake beyond the eager threshold. Same-node pairs pay the memcpy
+    /// bandwidth and no hops.
+    pub fn message_time(&self, src: Rank, dst: Rank, bytes: u64) -> SimDuration {
+        let n = &self.spec.nic;
+        let (src_node, dst_node) = (self.node_of(src), self.node_of(dst));
+        let t = if src_node == dst_node {
+            self.overhead_s() + bytes as f64 / (n.memcpy_bw_gbs * 1e9) + self.protocol_extra_s(bytes)
+        } else {
+            let hops = self.torus.hops(src_node, dst_node) as f64;
+            self.overhead_s()
+                + hops * n.per_hop_ns * 1e-9
+                + bytes as f64 / self.wire_bw()
+                + self.protocol_extra_s(bytes)
+        };
+        SimDuration::from_secs_f64(t)
+    }
+
+    /// Sender-side CPU occupancy of a send: the software overhead plus any
+    /// rendezvous handshake. The payload itself streams from the NIC, so
+    /// the sender's task resumes well before the message lands.
+    pub fn send_occupancy(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(self.overhead_s() + self.protocol_extra_s(bytes))
+    }
+
+    /// The machine-derived minimum cross-node message latency.
+    pub fn min_remote_latency(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.spec.min_remote_latency_s(self.mode))
+    }
+
+    /// Conservative lookahead for the parallel mode: half the minimum
+    /// remote latency. Halving guarantees every analytic collective
+    /// duration (floored at the full minimum latency) covers both the
+    /// contribution leg *and* the release leg of the sharded hierarchical
+    /// gate, each of which must span at least one lookahead.
+    pub fn lookahead(&self) -> SimDuration {
+        SimDuration::from_ps((self.min_remote_latency().as_ps() / 2).max(1))
+    }
+
+    /// Analytic duration of a collective over `p` ranks, measured from the
+    /// last arrival to the release instant: `ceil(log2 p)` dissemination
+    /// rounds of one mean-distance message (plus payload serialization for
+    /// allreduce). Floored at the full minimum remote latency so the
+    /// duration always covers two lookaheads (see [`AnalyticNet::lookahead`]).
+    pub fn collective_time(&self, p: usize, shape: CollectiveShape) -> SimDuration {
+        let rounds = (p.max(1) as f64).log2().ceil().max(1.0);
+        let t0 = self.overhead_s() + self.torus.mean_hops() * self.spec.nic.per_hop_ns * 1e-9;
+        let per_round = match shape {
+            CollectiveShape::Barrier => t0,
+            CollectiveShape::Allreduce { bytes } => {
+                t0 + bytes as f64 / self.wire_bw() + self.protocol_extra_s(bytes)
+            }
+        };
+        let floor = self.spec.min_remote_latency_s(self.mode);
+        SimDuration::from_secs_f64((rounds * per_round).max(floor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ContentionModel, Placement, Platform, PlatformConfig};
+    use xtsim_machine::presets;
+
+    fn net(ranks: usize) -> AnalyticNet {
+        AnalyticNet::new(presets::xt4(), ExecMode::SN, ranks)
+    }
+
+    #[test]
+    fn matches_platform_estimate_at_mean_distance() {
+        // For a pair at (roughly) mean hop distance the analytic price must
+        // track the fluid platform's estimate: same formula, same constants.
+        let n = net(64);
+        let sim = xtsim_des::Sim::new(0);
+        let p = Platform::new(
+            sim.handle(),
+            PlatformConfig {
+                spec: presets::xt4(),
+                mode: ExecMode::SN,
+                ranks: 64,
+                placement: Placement::Block,
+                contention: ContentionModel::Fluid,
+            },
+        );
+        let est = p.message_time_estimate(4096).as_secs_f64();
+        let mut best = f64::MAX;
+        for dst in 1..64 {
+            let t = n.message_time(0, dst, 4096).as_secs_f64();
+            best = best.min((t - est).abs() / est);
+        }
+        assert!(best < 0.10, "no pair within 10% of the mean estimate: {best}");
+    }
+
+    #[test]
+    fn message_time_is_symmetric_and_monotone_in_bytes() {
+        let n = net(128);
+        for (a, b) in [(0, 127), (3, 77), (12, 13)] {
+            assert_eq!(n.message_time(a, b, 1024), n.message_time(b, a, 1024));
+            assert!(n.message_time(a, b, 1 << 20) > n.message_time(a, b, 1024));
+        }
+    }
+
+    #[test]
+    fn lookahead_is_a_lower_bound_on_remote_messages() {
+        let n = AnalyticNet::new(presets::xt4(), ExecMode::VN, 256);
+        let la = n.lookahead();
+        assert!(la.as_ps() > 0);
+        for dst in 0..256 {
+            if n.node_of(dst) != n.node_of(0) {
+                assert!(n.message_time(0, dst, 0) >= la + la, "dst {dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn collective_time_covers_two_lookaheads() {
+        for ranks in [1usize, 2, 16, 1024] {
+            let n = net(ranks.max(1));
+            let la = n.lookahead();
+            for shape in [
+                CollectiveShape::Barrier,
+                CollectiveShape::Allreduce { bytes: 64 },
+            ] {
+                let d = n.collective_time(ranks, shape);
+                assert!(d >= la + la, "{ranks} {shape:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_node_pairs_use_memcpy_path() {
+        let n = AnalyticNet::new(presets::xt4(), ExecMode::VN, 8);
+        assert_eq!(n.node_of(0), n.node_of(1));
+        assert!(n.message_time(0, 1, 1 << 20) < n.message_time(0, 2, 1 << 20));
+    }
+}

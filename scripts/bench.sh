@@ -4,6 +4,7 @@
 #
 # Usage:
 #   scripts/bench.sh [--quick] [--oneshot] [--out FILE] [--before FILE]
+#                    [--check FILE[:TOL]]
 #
 #   --quick    shrink the stress benches (XTSIM_BENCH_QUICK=1) so the whole
 #              suite finishes in seconds; used by the CI smoke.
@@ -13,6 +14,11 @@
 #   --before   a previous --out file; the new run is recorded as "after_ms"
 #              next to the old file's numbers ("before_ms") with a "speedup"
 #              ratio per bench.
+#   --check    regression threshold gate: after the run, compare each bench
+#              that also appears in FILE and exit 1 if any current median is
+#              more than TOL (fraction, default 0.5) slower than the recorded
+#              number. Benches present on only one side are ignored, so the
+#              gate survives adding or retiring benches.
 #
 # Output shape (validated by scripts/ci.sh):
 #   {"schema": "xtsim-bench-v1", "quick": false, "benches":
@@ -25,6 +31,7 @@ cd "$(dirname "$0")/.."
 
 out="BENCH_PR4.json"
 before=""
+check=""
 quick=0
 oneshot=0
 while [ $# -gt 0 ]; do
@@ -33,6 +40,7 @@ while [ $# -gt 0 ]; do
         --oneshot) oneshot=1 ;;
         --out) out="$2"; shift ;;
         --before) before="$2"; shift ;;
+        --check) check="$2"; shift ;;
         *) echo "unknown argument: $1" >&2; exit 2 ;;
     esac
     shift
@@ -86,3 +94,34 @@ with open(out_path, "w") as f:
     f.write("\n")
 print(f"wrote {out_path} ({len(benches)} benches)")
 EOF
+
+if [ -n "$check" ]; then
+    python3 - "$out" "$check" <<'EOF'
+import json, sys
+
+out_path, check_spec = sys.argv[1:3]
+check_path, _, tol = check_spec.partition(":")
+tol = float(tol) if tol else 0.5
+
+def median_of(entry):
+    # Plain runs record median_ms; --before runs record after_ms.
+    return entry.get("median_ms", entry.get("after_ms"))
+
+current = json.load(open(out_path))["benches"]
+recorded = json.load(open(check_path))["benches"]
+regressions = []
+for name in sorted(set(current) & set(recorded)):
+    now, then = median_of(current[name]), median_of(recorded[name])
+    if now is None or then is None or then <= 0:
+        continue
+    if now > then * (1.0 + tol):
+        regressions.append(f"  {name}: {now:.3f} ms vs recorded {then:.3f} ms "
+                           f"({now / then:.2f}x, tolerance {1.0 + tol:.2f}x)")
+if regressions:
+    print(f"bench.sh: regression beyond threshold vs {check_path}:", file=sys.stderr)
+    print("\n".join(regressions), file=sys.stderr)
+    sys.exit(1)
+print(f"bench check vs {check_path} passed "
+      f"(tolerance {1.0 + tol:.2f}x, {len(set(current) & set(recorded))} compared)")
+EOF
+fi

@@ -43,13 +43,27 @@ echo "== tests =="
 # offline compat shims).
 cargo test --workspace -q
 
-echo "== figures smoke (quick scale, cache off) =="
+echo "== golden figures with DES_THREADS=4 (parallel engine, same goldens) =="
+# The golden gate runs serially as part of the workspace tests above; this
+# second pass proves the committed goldens are also what the conservative
+# parallel DES engine produces.
+DES_THREADS=4 cargo test -q --test golden_figures
+
+echo "== figures smoke (quick scale, cache off, serial vs --des-threads 4) =="
 out="$(mktemp -d)"
 cargo run --release -p xtsim-bench --bin figures -- \
-    --all --quick --no-cache --jobs 4 --out "$out" >/dev/null
-for id in table1 fig01 fig12 fig23; do
-    test -s "$out/$id.json" || { echo "missing $id.json"; exit 1; }
+    --all --quick --no-cache --jobs 4 --out "$out/serial" >/dev/null
+for id in table1 fig01 fig12 fig23 fig24; do
+    test -s "$out/serial/$id.json" || { echo "missing $id.json"; exit 1; }
 done
+cargo run --release -p xtsim-bench --bin figures -- \
+    --all --quick --no-cache --jobs 4 --des-threads 4 --out "$out/pdes" >/dev/null
+# Byte-identity of every artifact: the DES thread count must never show up
+# in a published number (tests/pdes_equivalence.rs holds the same line at
+# event-log granularity).
+diff -r "$out/serial" "$out/pdes" || {
+    echo "figures output differs between serial and --des-threads 4"; exit 1;
+}
 rm -rf "$out"
 
 echo "== trace/metrics export smoke =="
@@ -75,9 +89,12 @@ for path in glob.glob(f"{out}/traces/*.trace.json"):
 EOF
 rm -rf "$out"
 
-echo "== bench smoke (quick stress benches + BENCH_PR4.json shape) =="
+echo "== bench smoke (quick stress benches + threshold gate + JSON shape) =="
 out="$(mktemp -d)"
-scripts/bench.sh --quick --out "$out/bench.json" >/dev/null
+# --check compares against the committed quick-scale baseline and fails on
+# a >2x regression; tolerance is deliberately loose because the quick
+# schedule takes few samples (see BENCH_QUICK.json for the recorded floor).
+scripts/bench.sh --quick --out "$out/bench.json" --check BENCH_QUICK.json:1.0 >/dev/null
 python3 - "$out/bench.json" <<'EOF'
 import json, sys
 rec = json.load(open(sys.argv[1]))
@@ -89,6 +106,8 @@ for name in (
     "fluid_pool/flows_10k",
     "alltoall_fluid/ranks_256",
     "alltoall_fluid/ranks_1024",
+    "pdes_alltoall/ranks_1024/threads_1",
+    "pdes_alltoall/ranks_1024/threads_4",
 ):
     b = benches.get(name)
     assert b, f"missing bench {name}"

@@ -1,0 +1,125 @@
+//! Differential gate for the conservative parallel DES mode.
+//!
+//! Three layers of evidence that `--des-threads N` can never change a
+//! published number:
+//!
+//! 1. **Figure byte-identity** — a representative figure subset rendered
+//!    serially and with the engine advertising 2/4/8 DES threads must
+//!    produce identical bytes (render + JSON).
+//! 2. **Full event-log diffs** — two small scenarios (pairwise alltoall,
+//!    halo+allreduce) run with per-rank event logging; the merged logs,
+//!    per-rank finish times, and checksums must match the serial reference
+//!    entry-for-entry for every sharding.
+//! 3. **Schedule perturbation** — proptest drives randomized node→shard
+//!    partition maps, epoch-window caps, shard counts, and thread counts;
+//!    final state must still match the serial run bit-for-bit.
+
+use proptest::prelude::*;
+use xt4_repro::xtsim::apps::pdes::{alltoall, halo_allreduce, PdesScenario};
+use xt4_repro::xtsim::des::SimDuration;
+use xt4_repro::xtsim::figures::figure;
+use xt4_repro::xtsim::machine::{presets, ExecMode};
+use xt4_repro::xtsim::report::Scale;
+use xt4_repro::xtsim::sweep::{run_figure, SweepConfig};
+
+/// Figures the CI gate diffs serial-vs-parallel. fig24 actually uses the
+/// parallel engine; fig02/fig12 prove the knob is inert elsewhere.
+const FIGURE_SUBSET: [&str; 3] = ["fig02", "fig12", "fig24"];
+
+fn render_with_threads(id: &str, des_threads: usize) -> (String, String) {
+    let cfg = SweepConfig::serial().with_des_threads(des_threads);
+    let (result, _) = run_figure(figure(id).expect(id).spec(Scale::Quick), &cfg);
+    let json = serde_json::to_string_pretty(&result).expect("serialize");
+    (result.render(), json)
+}
+
+#[test]
+fn figure_subset_is_byte_identical_across_des_threads() {
+    for id in FIGURE_SUBSET {
+        let base = render_with_threads(id, 1);
+        for threads in [2, 4, 8] {
+            let got = render_with_threads(id, threads);
+            assert_eq!(got.0, base.0, "{id} render drifted at {threads} DES threads");
+            assert_eq!(got.1, base.1, "{id} JSON drifted at {threads} DES threads");
+        }
+    }
+}
+
+fn scenario(ranks: usize) -> PdesScenario {
+    let mut s = PdesScenario::new(presets::xt4(), ExecMode::VN, ranks);
+    s.log_events = true;
+    s
+}
+
+#[test]
+fn alltoall_event_log_matches_serial_reference() {
+    let base = alltoall(&scenario(12), 8192);
+    assert!(!base.log.is_empty());
+    for (shards, threads) in [(2, 2), (3, 4), (4, 4), (4, 8)] {
+        let run = alltoall(&scenario(12).sharded(shards, threads), 8192);
+        assert_eq!(
+            run.log, base.log,
+            "event log diverged at {shards} shards / {threads} threads"
+        );
+        assert_eq!(run.finish_times, base.finish_times);
+        assert_eq!(run.time_s.to_bits(), base.time_s.to_bits());
+    }
+}
+
+#[test]
+fn halo_event_log_and_checksum_match_serial_reference() {
+    let base = halo_allreduce(&scenario(10), 2048, 6);
+    assert!(!base.log.is_empty());
+    assert!(base.checksum.is_finite() && base.checksum != 0.0);
+    for (shards, threads) in [(2, 2), (4, 4), (5, 8)] {
+        let run = halo_allreduce(&scenario(10).sharded(shards, threads), 2048, 6);
+        assert_eq!(
+            run.log, base.log,
+            "event log diverged at {shards} shards / {threads} threads"
+        );
+        assert_eq!(run.checksum.to_bits(), base.checksum.to_bits());
+        assert_eq!(run.finish_times, base.finish_times);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized partition maps, epoch windows, shard and thread counts:
+    /// the halo scenario's full final state must equal the serial run.
+    /// 12 VN ranks on xt4 = 6 nodes, so maps have 6 entries.
+    #[test]
+    fn halo_state_survives_schedule_perturbation(
+        map in proptest::collection::vec(0usize..4, 6),
+        window_ps in 1u64..200_000,
+        threads in 1usize..9,
+        iters in 1usize..5,
+    ) {
+        let base = halo_allreduce(&scenario(12), 1024, iters);
+        let shards = map.iter().copied().max().unwrap_or(0) + 1;
+        let mut sc = scenario(12).sharded(shards, threads);
+        sc.partition = Some(map);
+        sc.window = Some(SimDuration::from_ps(window_ps));
+        let run = halo_allreduce(&sc, 1024, iters);
+        prop_assert_eq!(run.checksum.to_bits(), base.checksum.to_bits());
+        prop_assert_eq!(run.finish_times, base.finish_times);
+        prop_assert_eq!(run.log, base.log);
+    }
+
+    /// Same perturbation sweep for the alltoall pattern (pure p2p).
+    #[test]
+    fn alltoall_state_survives_schedule_perturbation(
+        map in proptest::collection::vec(0usize..3, 6),
+        window_ps in 1u64..200_000,
+        threads in 1usize..9,
+    ) {
+        let base = alltoall(&scenario(12), 4096);
+        let shards = map.iter().copied().max().unwrap_or(0) + 1;
+        let mut sc = scenario(12).sharded(shards, threads);
+        sc.partition = Some(map);
+        sc.window = Some(SimDuration::from_ps(window_ps));
+        let run = alltoall(&sc, 4096);
+        prop_assert_eq!(run.finish_times, base.finish_times);
+        prop_assert_eq!(run.log, base.log);
+    }
+}

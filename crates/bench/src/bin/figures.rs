@@ -36,6 +36,7 @@ use std::io::Write;
 use std::path::PathBuf;
 
 use xtsim::ablations::all_ablations;
+use xtsim::cli::{des_threads_from_env, parse_scale, select_figures};
 use xtsim::figures::{all_figures, Figure};
 use xtsim::report::Scale;
 use xtsim::sweep::{run_figure, DiskCache, FigureMetrics, SweepConfig};
@@ -68,11 +69,7 @@ fn parse_args() -> Args {
         cache_dir: DiskCache::default_dir(),
         trace_dir: None,
         metrics: None,
-        des_threads: std::env::var("DES_THREADS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .filter(|&n: &usize| n >= 1)
-            .unwrap_or(1),
+        des_threads: des_threads_from_env(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -80,11 +77,11 @@ fn parse_args() -> Args {
             "--full" => args.scale = Scale::Full,
             "--quick" => args.scale = Scale::Quick,
             "--scale" => {
-                args.scale = match it.next().as_deref() {
-                    Some("quick") => Scale::Quick,
-                    Some("full") => Scale::Full,
-                    other => {
-                        eprintln!("--scale needs quick|full, got {other:?}");
+                let v = it.next();
+                args.scale = match v.as_deref().and_then(parse_scale) {
+                    Some(scale) => scale,
+                    None => {
+                        eprintln!("--scale needs quick|full, got {v:?}");
                         std::process::exit(2);
                     }
                 };
@@ -166,11 +163,19 @@ fn main() {
         figures.extend(all_ablations());
     }
     if let Some(only) = &args.only {
-        figures.retain(|f| only.iter().any(|id| id == f.id));
-        if figures.is_empty() {
-            eprintln!("no figure matches {only:?}");
-            std::process::exit(2);
-        }
+        // Every requested id must match; a typo must not silently shrink
+        // the run (xtsim-serve 404s on the same validation).
+        figures = match select_figures(figures, only) {
+            Ok(figures) => figures,
+            Err(unknown) => {
+                eprintln!(
+                    "unknown figure id(s): {}{}",
+                    unknown.join(", "),
+                    if args.ablations { "" } else { " (ablation ids need --ablations)" }
+                );
+                std::process::exit(2);
+            }
+        };
     }
     std::fs::create_dir_all(&args.out).expect("create output directory");
     println!(

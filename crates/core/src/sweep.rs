@@ -163,17 +163,40 @@ pub enum CacheLookup {
     KeyMismatch,
 }
 
+/// Aggregate on-disk state of a [`DiskCache`], for `/stats`-style reporting.
+#[derive(Debug, Clone, Default)]
+pub struct CacheStats {
+    /// Committed entries (`<digest>.json` files).
+    pub entries: u64,
+    /// Total bytes across committed entries.
+    pub bytes: u64,
+    /// In-flight or leaked temp files (`.<digest>.<pid>.<seq>.tmp`).
+    pub tmp_files: u64,
+}
+
+impl_serde_struct!(CacheStats { entries, bytes, tmp_files });
+
+/// Temp files older than this are presumed leaked by a crashed writer and
+/// are reclaimed on [`DiskCache::new`], even when pid liveness can't be
+/// probed. A live store-then-rename window is microseconds; an hour is far
+/// outside any legitimate in-flight write.
+const STALE_TMP_MAX_AGE: Duration = Duration::from_secs(3600);
+
 /// On-disk content-addressed job cache (one JSON file per digest).
 pub struct DiskCache {
     dir: PathBuf,
 }
 
 impl DiskCache {
-    /// Open (creating if needed) a cache rooted at `dir`.
+    /// Open (creating if needed) a cache rooted at `dir`. Temp files leaked
+    /// by writers that died between write and rename are swept here — see
+    /// [`DiskCache::sweep_stale_tmp`].
     pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<DiskCache> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(DiskCache { dir })
+        let cache = DiskCache { dir };
+        cache.sweep_stale_tmp(STALE_TMP_MAX_AGE);
+        Ok(cache)
     }
 
     /// The conventional cache location used by the `figures` binary.
@@ -234,6 +257,57 @@ impl DiskCache {
         std::fs::rename(&tmp, self.path_for(digest))
     }
 
+    /// Remove leaked temp files. A writer crashing between `fs::write` and
+    /// `fs::rename` in [`DiskCache::store`] strands its
+    /// `.<digest>.<pid>.<seq>.tmp` file forever — nothing else ever touches
+    /// that name again. A temp file is reclaimed when its recorded pid is
+    /// provably dead (`/proc/<pid>` absent on systems that have `/proc`) or
+    /// its mtime is older than `max_age`; fresh files from live writers are
+    /// left alone. Returns the number of files removed.
+    pub fn sweep_stale_tmp(&self, max_age: Duration) -> usize {
+        let Ok(rd) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        let now = std::time::SystemTime::now();
+        let mut removed = 0;
+        for entry in rd.filter_map(Result::ok) {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !(name.starts_with('.') && name.ends_with(".tmp")) {
+                continue;
+            }
+            let dead_writer = tmp_writer_pid(&name).is_some_and(pid_provably_dead);
+            let expired = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| now.duration_since(t).ok())
+                .is_some_and(|age| age >= max_age);
+            if (dead_writer || expired) && std::fs::remove_file(entry.path()).is_ok() {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Aggregate on-disk state: entry count, byte total, temp files.
+    pub fn stats(&self) -> CacheStats {
+        let mut stats = CacheStats::default();
+        let Ok(rd) = std::fs::read_dir(&self.dir) else {
+            return stats;
+        };
+        for entry in rd.filter_map(Result::ok) {
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if path.extension().is_some_and(|x| x == "json") {
+                stats.entries += 1;
+                stats.bytes += entry.metadata().map(|m| m.len()).unwrap_or(0);
+            } else if name.starts_with('.') && name.ends_with(".tmp") {
+                stats.tmp_files += 1;
+            }
+        }
+        stats
+    }
+
     /// Number of entries on disk.
     pub fn len(&self) -> usize {
         std::fs::read_dir(&self.dir)
@@ -249,6 +323,18 @@ impl DiskCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+/// Writer pid recorded in a `.<digest>.<pid>.<seq>.tmp` file name.
+fn tmp_writer_pid(name: &str) -> Option<u32> {
+    name.strip_suffix(".tmp")?.rsplit('.').nth(1)?.parse().ok()
+}
+
+/// True only when the platform lets us *prove* the pid is gone (`/proc`
+/// exists but `/proc/<pid>` doesn't). Elsewhere the age rule alone decides,
+/// so a live writer's fresh temp file is never yanked out from under it.
+fn pid_provably_dead(pid: u32) -> bool {
+    Path::new("/proc").is_dir() && !Path::new(&format!("/proc/{pid}")).exists()
 }
 
 /// Engine configuration for one figure run.
@@ -571,15 +657,18 @@ pub fn run_figure(spec: FigureSpec, cfg: &SweepConfig) -> (FigureResult, RunStat
 
     let values: Vec<Value> = slots.into_iter().map(|s| s.expect("all slots filled")).collect();
     let fig = (spec.assemble)(&values);
+    // One clock read for the whole figure: FigureMetrics.wall_secs and
+    // RunStats.wall must describe the same run, not two nearby instants.
+    let wall = t0.elapsed();
     if let Some(m) = metrics.as_mut() {
-        m.wall_secs = t0.elapsed().as_secs_f64();
+        m.wall_secs = wall.as_secs_f64();
     }
     let stats = RunStats {
         total: n,
         computed: pending.len(),
         cached,
         key_mismatches,
-        wall: t0.elapsed(),
+        wall,
         metrics,
     };
     (fig, stats)
@@ -738,6 +827,59 @@ mod tests {
             DiskCache::new(&dir).unwrap().load(&digest, &key),
             CacheLookup::Hit(_)
         ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_wall_matches_run_stats_wall() {
+        // One clock read: the metrics record and RunStats must agree exactly
+        // (two separate t0.elapsed() calls used to make them drift).
+        let (_, stats) = run_figure(tiny_spec(2.0), &SweepConfig::serial().with_metrics());
+        let m = stats.metrics.expect("metrics collected");
+        assert_eq!(m.wall_secs, stats.wall.as_secs_f64());
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept() {
+        let dir = std::env::temp_dir().join(format!("xtsim-tmpsweep-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let digest = "a".repeat(32);
+
+        // A temp file whose recorded writer is dead: spawn a process, let it
+        // exit, and stamp its (now free) pid into the name.
+        let dead = std::process::Command::new("true").spawn().ok().map(|mut child| {
+            let pid = child.id();
+            child.wait().unwrap();
+            let path = dir.join(format!(".{digest}.{pid}.0.tmp"));
+            std::fs::write(&path, b"{\"torn\":").unwrap();
+            path
+        });
+        // A fresh temp file from a *live* writer (our own pid): must survive.
+        let live = dir.join(format!(".{digest}.{}.1.tmp", std::process::id()));
+        std::fs::write(&live, b"{\"inflight\":").unwrap();
+
+        let cache = DiskCache::new(&dir).unwrap(); // sweeps on open
+        if let Some(dead) = &dead {
+            assert!(!dead.exists(), "dead writer's temp file not swept");
+        }
+        assert!(live.exists(), "live writer's fresh temp file was yanked");
+        assert_eq!(cache.stats().tmp_files, 1);
+
+        // Age-based fallback: with a zero max-age even the live file is
+        // past the threshold (covers platforms without /proc).
+        assert_eq!(cache.sweep_stale_tmp(Duration::ZERO), 1);
+        assert!(!live.exists());
+        assert_eq!(cache.stats().tmp_files, 0);
+
+        // Committed entries are never touched by the sweep.
+        let key = JobKey::new("tiny", None, None, Scale::Quick).with("i", 1u32);
+        cache.store(&key.digest(), &key, &obj(vec![("y", 1.0.into())])).unwrap();
+        DiskCache::new(&dir).unwrap().sweep_stale_tmp(Duration::ZERO);
+        assert!(matches!(cache.load(&key.digest(), &key), CacheLookup::Hit(_)));
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.tmp_files), (1, 0));
+        assert!(stats.bytes > 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,182 @@
+//! Minimal HTTP/1.1 request/response handling over `std::net`, in the
+//! spirit of the offline compat shims: just enough of the protocol for a
+//! localhost JSON API — no chunked encoding, no keep-alive, no TLS.
+//!
+//! Every connection carries exactly one request; responses always close the
+//! connection (`Connection: close`), which keeps the server loop trivial
+//! and is fine for a CI/dashboard workload.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest accepted header block, and largest accepted body. Requests are
+/// tiny JSON scenario descriptions; anything bigger is hostile or broken.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request: method, path (query string split off), body bytes.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method, e.g. `GET`, `POST`.
+    pub method: String,
+    /// Decoded path component, e.g. `/runs/3`.
+    pub path: String,
+    /// Raw query string after `?`, empty when absent.
+    pub query: String,
+    /// Request body (exactly `Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+/// A response ready to serialize: status, content type, body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response { status, content_type: "application/json", body: body.into() }
+    }
+
+    /// An HTML response (status 200).
+    pub fn html(body: impl Into<Vec<u8>>) -> Response {
+        Response { status: 200, content_type: "text/html; charset=utf-8", body: body.into() }
+    }
+
+    /// A JSON error envelope `{"error": msg}`.
+    pub fn error(status: u16, msg: &str) -> Response {
+        let body = serde_json::to_string(&serde::Value::Object(
+            [("error".to_string(), serde::Value::Str(msg.to_string()))]
+                .into_iter()
+                .collect(),
+        ))
+        .expect("error envelope serializes");
+        Response::json(status, body)
+    }
+}
+
+/// Reason phrase for the status codes this service emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Read and parse one request off `stream`. Returns `None` on malformed or
+/// oversized input (the caller answers 400 and closes).
+pub fn read_request(stream: &mut TcpStream) -> Option<Request> {
+    // A stalled client must not wedge a handler thread forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut reader = BufReader::new(stream);
+
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let target = parts.next()?.to_string();
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/1.") {
+        return None;
+    }
+
+    let mut content_length = 0usize;
+    let mut header_bytes = line.len();
+    loop {
+        let mut h = String::new();
+        reader.read_line(&mut h).ok()?;
+        header_bytes += h.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return None;
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok()?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return None;
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).ok()?;
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
+    Some(Request { method, path, query, body })
+}
+
+/// Serialize `resp` onto `stream` (best effort — a vanished client is not an
+/// error worth surfacing).
+pub fn write_response(stream: &mut TcpStream, resp: &Response) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    let _ = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(&resp.body))
+        .and_then(|()| stream.flush());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &[u8]) -> Option<Request> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let tx = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let req = read_request(&mut conn);
+        tx.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let req = roundtrip(
+            b"POST /runs?verbose=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/runs");
+        assert_eq!(req.query, "verbose=1");
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn rejects_non_http_and_short_body() {
+        assert!(roundtrip(b"GARBAGE\r\n\r\n").is_none());
+        assert!(roundtrip(b"GET / FTP/9\r\n\r\n").is_none());
+        // Declared body longer than what arrives: read_exact fails.
+        assert!(roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort").is_none());
+    }
+}

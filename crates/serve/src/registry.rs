@@ -1,0 +1,198 @@
+//! Append-only run registry: one JSONL line per completed figure run.
+//!
+//! The registry is the service's durable memory — restart it and the
+//! dashboard's history is still there. Records are self-describing
+//! (`schema: "xtsim-registry-v1"`) and carry everything needed to
+//! reproduce or audit the run: engine version, canonical request params,
+//! outcome, wall-clock, and the per-figure [`FigureMetrics`] when
+//! collected. Appends are a single `write` of one line, so concurrent
+//! writers (or a crash mid-append) can at worst tear the final line —
+//! which [`Registry::replay`] tolerates by skipping it, counted.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use serde::Value;
+use xtsim::sweep::FigureMetrics;
+
+use crate::queue::RunRecord;
+
+/// Schema tag stamped into every record.
+pub const REGISTRY_SCHEMA: &str = "xtsim-registry-v1";
+
+/// Replay outcome: the parsed records plus how many lines were skipped as
+/// corrupt (torn final line from a crashed writer, manual edits, ...).
+#[derive(Debug, Clone, Default)]
+pub struct Replay {
+    /// Records in append order.
+    pub records: Vec<Value>,
+    /// Unparsable lines skipped.
+    pub skipped: u64,
+}
+
+/// Append-only JSONL registry rooted at a directory (`<dir>/runs.jsonl`).
+pub struct Registry {
+    path: PathBuf,
+}
+
+impl Registry {
+    /// Open (creating if needed) the registry under `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Registry> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Registry { path: dir.join("runs.jsonl") })
+    }
+
+    /// The conventional registry location used by `xtsim-serve`.
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from("results/registry")
+    }
+
+    /// Path of the JSONL file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record as a single JSONL line.
+    pub fn append(&self, record: &Value) -> std::io::Result<()> {
+        let mut line = serde_json::to_string(record)
+            .map_err(|e| std::io::Error::other(format!("record serializes: {e:?}")))?;
+        line.push('\n');
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        // One write call for line + newline keeps concurrent appends whole.
+        f.write_all(line.as_bytes())
+    }
+
+    /// Read every record back, skipping (and counting) corrupt lines. A
+    /// missing file is an empty registry, not an error.
+    pub fn replay(&self) -> Replay {
+        let mut out = Replay::default();
+        let Ok(text) = std::fs::read_to_string(&self.path) else {
+            return out;
+        };
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<Value>(line) {
+                Ok(v) => out.records.push(v),
+                Err(_) => out.skipped += 1,
+            }
+        }
+        out
+    }
+}
+
+/// Build the registry record for a finished run. `finished_unix` is seconds
+/// since the Unix epoch, captured by the caller (the service's clock is the
+/// only wall clock in the stack; simulated results never depend on it).
+pub fn make_record(rec: &RunRecord, finished_unix: f64) -> Value {
+    let mut m = std::collections::BTreeMap::new();
+    m.insert("schema".into(), REGISTRY_SCHEMA.into());
+    m.insert("run_id".into(), rec.id.into());
+    m.insert("engine_version".into(), xtsim::sweep::ENGINE_VERSION.into());
+    m.insert("figure".into(), rec.request.figure.as_str().into());
+    m.insert("scale".into(), rec.request.scale.label().into());
+    // Canonical params: everything that shaped the run, in one object.
+    let mut params = std::collections::BTreeMap::new();
+    params.insert("figure".into(), rec.request.figure.as_str().into());
+    params.insert("scale".into(), rec.request.scale.label().into());
+    params.insert("jobs".into(), rec.request.jobs.into());
+    params.insert("des_threads".into(), rec.request.des_threads.into());
+    m.insert("params".into(), Value::Object(params));
+    m.insert("outcome".into(), rec.status.label().into());
+    if let Some(e) = &rec.error {
+        m.insert("error".into(), e.as_str().into());
+    }
+    if let Some(out) = &rec.output {
+        m.insert("wall_secs".into(), out.wall_secs.into());
+        m.insert("computed".into(), out.computed.into());
+        m.insert("cached".into(), out.cached.into());
+        m.insert("key_mismatches".into(), out.key_mismatches.into());
+        m.insert(
+            "metrics".into(),
+            match &out.metrics {
+                Some(fm) => serde_json::to_value::<FigureMetrics>(fm)
+                    .expect("FigureMetrics serializes"),
+                None => Value::Null,
+            },
+        );
+    }
+    m.insert("finished_unix".into(), finished_unix.into());
+    Value::Object(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::{RunOutput, RunRequest, RunStatus};
+    use xtsim::report::Scale;
+
+    fn record(id: u64, figure: &str, wall: f64) -> Value {
+        make_record(
+            &RunRecord {
+                id,
+                request: RunRequest {
+                    figure: figure.into(),
+                    scale: Scale::Quick,
+                    jobs: 2,
+                    des_threads: 1,
+                },
+                status: RunStatus::Done,
+                output: Some(RunOutput {
+                    result_json: "{}".into(),
+                    wall_secs: wall,
+                    computed: 3,
+                    cached: 1,
+                    key_mismatches: 0,
+                    metrics: None,
+                }),
+                error: None,
+            },
+            1754000000.0 + id as f64,
+        )
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("xtsim-registry-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let reg = Registry::open(&dir).unwrap();
+        assert!(reg.replay().records.is_empty(), "fresh registry must be empty");
+        let recs: Vec<Value> = (1..=3).map(|i| record(i, "fig02", 0.5 * i as f64)).collect();
+        for r in &recs {
+            reg.append(r).unwrap();
+        }
+        // A reopened registry replays byte-equal records in append order.
+        let replay = Registry::open(&dir).unwrap().replay();
+        assert_eq!(replay.skipped, 0);
+        assert_eq!(replay.records, recs);
+        let first = replay.records[0].as_object().unwrap();
+        assert_eq!(first.get("schema").unwrap().as_str(), Some(REGISTRY_SCHEMA));
+        assert_eq!(first.get("outcome").unwrap().as_str(), Some("done"));
+        assert_eq!(
+            first.get("params").unwrap().as_object().unwrap().get("jobs"),
+            Some(&Value::Int(2))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_skips_torn_final_line() {
+        let dir = std::env::temp_dir().join(format!("xtsim-registry-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let reg = Registry::open(&dir).unwrap();
+        reg.append(&record(1, "fig02", 1.0)).unwrap();
+        // Simulate a writer that died mid-append.
+        let mut f = std::fs::OpenOptions::new().append(true).open(reg.path()).unwrap();
+        f.write_all(b"{\"schema\":\"xtsim-regist").unwrap();
+        drop(f);
+        let replay = reg.replay();
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.skipped, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

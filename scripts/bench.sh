@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Run the simulator stress benches and record the median wall-clock per bench
-# as JSON (default: BENCH_PR4.json in the repo root).
+# as JSON (default: results/bench.json — an untracked scratch path; pass
+# --out BENCH_PRn.json explicitly when recording a committed baseline).
 #
 # Usage:
 #   scripts/bench.sh [--quick] [--oneshot] [--out FILE] [--before FILE]
@@ -10,7 +11,8 @@
 #              suite finishes in seconds; used by the CI smoke.
 #   --oneshot  one timed iteration per bench, no warmup (XTSIM_BENCH_ONESHOT=1);
 #              for capturing baselines of very slow configurations.
-#   --out      output JSON path (default BENCH_PR4.json).
+#   --out      output JSON path (default results/bench.json; a bare run must
+#              never overwrite a committed BENCH_* baseline in place).
 #   --before   a previous --out file; the new run is recorded as "after_ms"
 #              next to the old file's numbers ("before_ms") with a "speedup"
 #              ratio per bench.
@@ -29,7 +31,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="BENCH_PR4.json"
+out="results/bench.json"
 before=""
 check=""
 quick=0
@@ -49,6 +51,8 @@ done
 env_vars=()
 [ "$quick" = 1 ] && env_vars+=(XTSIM_BENCH_QUICK=1)
 [ "$oneshot" = 1 ] && env_vars+=(XTSIM_BENCH_ONESHOT=1)
+
+mkdir -p "$(dirname "$out")"
 
 log="$(mktemp)"
 trap 'rm -f "$log"' EXIT

@@ -89,6 +89,109 @@ for path in glob.glob(f"{out}/traces/*.trace.json"):
 EOF
 rm -rf "$out"
 
+echo "== figures --only validation (unknown ids must fail, exit 2) =="
+if cargo run --release -p xtsim-bench --bin figures -- \
+    --quick --no-cache --only figZZ --out "$(mktemp -d)" >/dev/null 2>&1; then
+    echo "figures --only figZZ must exit nonzero"; exit 1
+fi
+
+echo "== xtsim-serve smoke (submit, poll, byte-diff vs CLI, stats shape) =="
+out="$(mktemp -d)"
+# CLI artifact first (its own cache), then the service computes the same
+# figure cold in a separate cache and again warm — all three byte-identical.
+cargo run --release -p xtsim-bench --bin figures -- \
+    --quick --only fig02 --jobs 2 --cache-dir "$out/cli-cache" --out "$out/cli" >/dev/null
+cargo build --release -p xtsim-serve
+target/release/xtsim-serve --port 0 --cache-dir "$out/serve-cache" \
+    --registry-dir "$out/registry" --max-concurrent 1 --jobs 2 \
+    --bench-root . >"$out/serve.log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+port=""
+for _ in $(seq 1 100); do
+    port="$(sed -n 's#.*listening on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' "$out/serve.log")"
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+[ -n "$port" ] || { echo "xtsim-serve did not come up"; cat "$out/serve.log"; exit 1; }
+python3 - "$port" "$out" <<'EOF'
+import json, sys, time, urllib.error, urllib.request
+
+port, out = sys.argv[1:3]
+base = f"http://127.0.0.1:{port}"
+
+def req(method, path, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    try:
+        with urllib.request.urlopen(
+            urllib.request.Request(base + path, method=method, data=data), timeout=60
+        ) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as e:
+        return e.code, e.read()
+
+def run_to_completion(body):
+    code, resp = req("POST", "/runs", body)
+    assert code == 202, f"submit: {code} {resp}"
+    rid = json.loads(resp)["id"]
+    deadline = time.time() + 300
+    while time.time() < deadline:
+        env = json.loads(req("GET", f"/runs/{rid}")[1])
+        if env["status"] in ("done", "failed"):
+            break
+        time.sleep(0.2)
+    assert env["status"] == "done", f"run {rid}: {env}"
+    code, body_bytes = req("GET", f"/runs/{rid}/result")
+    assert code == 200
+    return env, body_bytes
+
+# Unknown figure ids 404 with the ids listed (same validation as --only).
+code, resp = req("POST", "/runs", {"figure": "figZZ"})
+assert code == 404 and b"figZZ" in resp, f"unknown id: {code} {resp}"
+
+# Cold service run (fresh cache), then warm rerun from the same cache.
+env, cold = run_to_completion({"figure": "fig02", "scale": "quick", "jobs": 2})
+open(f"{out}/serve_cold.json", "wb").write(cold)
+env, warm = run_to_completion({"figure": "fig02", "scale": "quick", "jobs": 2})
+assert env["cached"] > 0, f"second run did not hit the cache: {env}"
+open(f"{out}/serve_warm.json", "wb").write(warm)
+
+# /stats keeps the documented shape.
+stats = json.loads(req("GET", "/stats")[1])
+assert stats["schema"] == "xtsim-serve-stats-v1", stats
+assert stats["engine_version"] >= 1
+for k in ("queued", "running", "done", "failed", "rejected", "capacity", "workers"):
+    assert k in stats["queue"], f"queue stats missing {k}"
+assert stats["queue"]["done"] >= 2
+assert stats["cache"]["entries"] > 0
+assert stats["registry"]["records"] >= 2
+assert stats["registry"]["skipped"] == 0
+
+# The registry replays every completed run; the dashboard renders SVG.
+reg = json.loads(req("GET", "/registry")[1])
+assert len(reg["records"]) >= 2
+rec = reg["records"][-1]
+assert rec["schema"] == "xtsim-registry-v1" and rec["figure"] == "fig02"
+assert rec["outcome"] == "done" and rec["wall_secs"] > 0
+assert rec["params"]["scale"] == "quick"
+code, dash = req("GET", "/dashboard")
+assert code == 200 and b"<svg" in dash, "dashboard missing inline SVG"
+EOF
+# Byte-identity with the CLI artifact, cold and warm.
+diff "$out/cli/fig02.json" "$out/serve_cold.json" || {
+    echo "service result (cold) differs from figures CLI output"; exit 1;
+}
+diff "$out/cli/fig02.json" "$out/serve_warm.json" || {
+    echo "service result (warm) differs from figures CLI output"; exit 1;
+}
+kill "$serve_pid" 2>/dev/null || true
+trap - EXIT
+# One-shot dashboard mode renders from the registry alone.
+target/release/xtsim-serve --registry-dir "$out/registry" --bench-root . \
+    --dashboard "$out/dash" >/dev/null
+grep -q "<svg" "$out/dash/index.html" || { echo "one-shot dashboard has no SVG"; exit 1; }
+rm -rf "$out"
+
 echo "== bench smoke (quick stress benches + threshold gate + JSON shape) =="
 out="$(mktemp -d)"
 # --check compares against the committed quick-scale baseline and fails on

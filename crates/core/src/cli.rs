@@ -49,9 +49,13 @@ pub fn des_threads_from_env() -> usize {
         Ok(v) => match v.trim().parse::<usize>() {
             Ok(n) if n >= 1 => n,
             _ => {
-                eprintln!(
-                    "warning: ignoring DES_THREADS={v:?} (needs a positive integer); \
-                     running the serial DES engine"
+                xtsim_obs::events::warn(
+                    "xtsim::cli",
+                    &format!(
+                        "ignoring DES_THREADS={v:?} (needs a positive integer); \
+                         running the serial DES engine"
+                    ),
+                    &[("env_var", "DES_THREADS"), ("value", &v)],
                 );
                 1
             }

@@ -182,6 +182,47 @@ impl_serde_struct!(CacheStats { entries, bytes, tmp_files });
 /// outside any legitimate in-flight write.
 const STALE_TMP_MAX_AGE: Duration = Duration::from_secs(3600);
 
+/// Process-wide cache telemetry handles, registered once. Pure observation:
+/// counters and wall-clock latency never influence lookup results, job
+/// keys, or figure bytes.
+struct CacheMetrics {
+    hits: std::sync::Arc<xtsim_obs::Counter>,
+    misses: std::sync::Arc<xtsim_obs::Counter>,
+    key_mismatches: std::sync::Arc<xtsim_obs::Counter>,
+    stores: std::sync::Arc<xtsim_obs::Counter>,
+    store_bytes: std::sync::Arc<xtsim_obs::Counter>,
+    lookup_seconds: std::sync::Arc<xtsim_obs::Histogram>,
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    static M: std::sync::OnceLock<CacheMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        let lookups = "xtsim_cache_lookups_total";
+        let lookups_help = "DiskCache lookups by verified outcome.";
+        CacheMetrics {
+            hits: xtsim_obs::counter_with(lookups, lookups_help, &[("result", "hit")]),
+            misses: xtsim_obs::counter_with(lookups, lookups_help, &[("result", "miss")]),
+            key_mismatches: xtsim_obs::counter_with(
+                lookups,
+                lookups_help,
+                &[("result", "key_mismatch")],
+            ),
+            stores: xtsim_obs::counter(
+                "xtsim_cache_stores_total",
+                "Cache entries committed to disk.",
+            ),
+            store_bytes: xtsim_obs::counter(
+                "xtsim_cache_store_bytes_total",
+                "Serialized bytes written into committed cache entries.",
+            ),
+            lookup_seconds: xtsim_obs::histogram(
+                "xtsim_cache_lookup_seconds",
+                "Wall-clock latency of DiskCache::load (read + verify).",
+            ),
+        }
+    })
+}
+
 /// On-disk content-addressed job cache (one JSON file per digest).
 pub struct DiskCache {
     dir: PathBuf,
@@ -218,6 +259,19 @@ impl DiskCache {
     /// foreign entry, or an entry missing its key is a [`CacheLookup::KeyMismatch`]
     /// — callers must recompute, exactly as for a plain miss.
     pub fn load(&self, digest: &str, key: &JobKey) -> CacheLookup {
+        let sw = xtsim_obs::Stopwatch::start();
+        let out = self.load_unverified_timing(digest, key);
+        let m = cache_metrics();
+        m.lookup_seconds.observe_since(&sw);
+        match out {
+            CacheLookup::Hit(_) => m.hits.inc(),
+            CacheLookup::Miss => m.misses.inc(),
+            CacheLookup::KeyMismatch => m.key_mismatches.inc(),
+        }
+        out
+    }
+
+    fn load_unverified_timing(&self, digest: &str, key: &JobKey) -> CacheLookup {
         let Ok(text) = std::fs::read_to_string(self.path_for(digest)) else {
             return CacheLookup::Miss;
         };
@@ -253,8 +307,13 @@ impl DiskCache {
             std::process::id(),
             TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
+        let bytes = text.len() as u64;
         std::fs::write(&tmp, text)?;
-        std::fs::rename(&tmp, self.path_for(digest))
+        std::fs::rename(&tmp, self.path_for(digest))?;
+        let m = cache_metrics();
+        m.stores.inc();
+        m.store_bytes.add(bytes);
+        Ok(())
     }
 
     /// Remove leaked temp files. A writer crashing between `fs::write` and
@@ -530,9 +589,18 @@ pub fn run_figure(spec: FigureSpec, cfg: &SweepConfig) -> (FigureResult, RunStat
             Some(CacheLookup::Hit(v)) => slots[i] = Some(v),
             Some(CacheLookup::KeyMismatch) => {
                 key_mismatches += 1;
-                eprintln!(
-                    "warning: cache entry {} does not match job {} ({}); recomputing",
-                    digests[i], i, spec.jobs[i].key.kind
+                xtsim_obs::events::warn(
+                    "xtsim::sweep",
+                    &format!(
+                        "cache entry {} does not match job {} ({}); recomputing",
+                        digests[i], i, spec.jobs[i].key.kind
+                    ),
+                    &[
+                        ("figure", spec.id),
+                        ("digest", &digests[i]),
+                        ("job_index", &i.to_string()),
+                        ("kind", &spec.jobs[i].key.kind),
+                    ],
                 );
                 pending.push(i);
             }
@@ -548,7 +616,12 @@ pub fn run_figure(spec: FigureSpec, cfg: &SweepConfig) -> (FigureResult, RunStat
     // Each job runs single-threaded on whichever worker claims it, so
     // thread-local trace capture brackets exactly that job's simulation.
     let workers = cfg.jobs.max(1).min(pending.len().max(1));
+    let job_exec_seconds = xtsim_obs::histogram(
+        "xtsim_sweep_job_exec_seconds",
+        "Wall-clock execution time of one sweep-point job (cache misses only).",
+    );
     let exec = |i: usize| -> JobOutcome {
+        let sw = xtsim_obs::Stopwatch::start();
         DES_THREADS.with(|c| c.set(cfg.des_threads.max(1)));
         let out = if capture {
             trace::capture_begin();
@@ -558,6 +631,7 @@ pub fn run_figure(spec: FigureSpec, cfg: &SweepConfig) -> (FigureResult, RunStat
             ((spec.jobs[i].run)(), None)
         };
         DES_THREADS.with(|c| c.set(1));
+        job_exec_seconds.observe_since(&sw);
         out
     };
     let fresh: Vec<Mutex<Option<JobOutcome>>> =
@@ -584,6 +658,17 @@ pub fn run_figure(spec: FigureSpec, cfg: &SweepConfig) -> (FigureResult, RunStat
             }
         });
     }
+
+    xtsim_obs::counter(
+        "xtsim_sweep_jobs_computed_total",
+        "Sweep-point jobs executed (cache misses).",
+    )
+    .add(pending.len() as u64);
+    xtsim_obs::counter(
+        "xtsim_sweep_jobs_cached_total",
+        "Sweep-point jobs answered from the verified cache.",
+    )
+    .add(cached as u64);
 
     let mut metrics = capture.then(|| FigureMetrics {
         figure: spec.id.to_string(),
@@ -628,7 +713,11 @@ pub fn run_figure(spec: FigureSpec, cfg: &SweepConfig) -> (FigureResult, RunStat
                 ]);
                 match std::fs::write(dir.join(&fname), json) {
                     Ok(()) => m.trace_files.push(fname),
-                    Err(e) => eprintln!("warning: failed to write trace {fname}: {e}"),
+                    Err(e) => xtsim_obs::events::warn(
+                        "xtsim::sweep",
+                        &format!("failed to write trace {fname}: {e}"),
+                        &[("figure", spec.id), ("file", &fname)],
+                    ),
                 }
             }
             let s = td.summary();

@@ -500,6 +500,13 @@ where
         results.push(d.result);
     }
     log.sort_by_key(|e| (e.at, e.key));
+    // Counted once here (every worker observes the same epoch count), not
+    // per worker in the loop.
+    xtsim_obs::counter(
+        "xtsim_pdes_epochs_total",
+        "PDES barrier epochs executed across all partitioned runs.",
+    )
+    .add(shared.epochs.load(Ordering::Relaxed));
     PdesOutcome {
         results,
         end_time,
@@ -582,16 +589,34 @@ where
         seats.push(seat);
     }
 
+    // Telemetry handles, registered once per worker. Observation only:
+    // barrier-stall time is harness wall-clock (how long this OS thread sat
+    // blocked, nothing to do with simulated time), mailbox depth is a
+    // high-water mark across drains. Neither feeds back into event order.
+    let barrier_stall = xtsim_obs::histogram(
+        "xtsim_pdes_barrier_stall_seconds",
+        "Wall-clock time a PDES worker spent blocked at an epoch barrier.",
+    );
+    let mailbox_highwater = xtsim_obs::gauge(
+        "xtsim_pdes_mailbox_depth_highwater",
+        "Largest single-drain PDES mailbox depth observed (messages).",
+    );
+
     let mut epochs = 0u64;
     loop {
         // Barrier A: all sends of the previous epoch are now visible.
+        // xtsim-lint: allow(wallclock-in-sim, "harness-side barrier-stall telemetry; never enters sim time")
+        let sw = xtsim_obs::Stopwatch::start();
         if shared.barrier.wait().is_err() {
             return None;
         }
+        // xtsim-lint: allow(wallclock-in-sim, "harness-side barrier-stall telemetry; never enters sim time")
+        barrier_stall.observe_since(&sw);
         for seat in &mut seats {
             for (src, rx) in &seat.receivers {
                 seat.drain_scratch.clear();
                 rx.drain_into(&mut seat.drain_scratch);
+                mailbox_highwater.set_max(seat.drain_scratch.len() as u64);
                 for (pair_seq, item) in seat.drain_scratch.drain(..) {
                     seat.reorder
                         .insert((item.at, item.order, *src, pair_seq), item.payload);
@@ -610,9 +635,13 @@ where
             );
         }
         // Barrier B: every shard's published time is now visible.
+        // xtsim-lint: allow(wallclock-in-sim, "harness-side barrier-stall telemetry; never enters sim time")
+        let sw = xtsim_obs::Stopwatch::start();
         if shared.barrier.wait().is_err() {
             return None;
         }
+        // xtsim-lint: allow(wallclock-in-sim, "harness-side barrier-stall telemetry; never enters sim time")
+        barrier_stall.observe_since(&sw);
         let gmin = (0..cfg.shards)
             .map(|s| shared.next_times[s].load(Ordering::Acquire))
             .min()

@@ -628,6 +628,12 @@ fn wallclock_in_sim(ctx: &FileContext, cfg: &Config, out: &mut Vec<Finding>) {
             Some("SystemTime") | Some("UNIX_EPOCH") => true,
             _ => false,
         };
+        // The xtsim-obs telemetry API is a wall clock behind a nicer name:
+        // Stopwatch wraps Instant, start_timer/observe_since record elapsed
+        // wall time. Flagging the tokens keeps sim crates from laundering a
+        // clock read through the metrics layer.
+        let telemetry_timer =
+            matches!(t.ident(), Some("Stopwatch" | "start_timer" | "observe_since"));
         if flagged {
             let what = t.ident().unwrap_or_default().to_string();
             out.push(ctx.finding(
@@ -640,6 +646,19 @@ fn wallclock_in_sim(ctx: &FileContext, cfg: &Config, out: &mut Vec<Finding>) {
                 ),
                 "use SimHandle::now() for simulated time; wall-clock *measurement* belongs in \
                  the paths allowlisted under [allow.wallclock-in-sim] in lint.toml",
+            ));
+        } else if telemetry_timer {
+            let what = t.ident().unwrap_or_default().to_string();
+            out.push(ctx.finding(
+                i,
+                rule_id::WALLCLOCK_IN_SIM,
+                Severity::Error,
+                format!(
+                    "`{what}` is a wall-clock telemetry timer (xtsim-obs); calling it here \
+                     routes real time into simulation code"
+                ),
+                "record latencies from the harness side (sweep engine, serve layer) or \
+                 allowlist the measurement under [allow.wallclock-in-sim] in lint.toml",
             ));
         }
     }

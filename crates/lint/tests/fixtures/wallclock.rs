@@ -12,6 +12,23 @@ fn suppressed() {
     let _ = Instant::now();
 }
 
+// The xtsim-obs telemetry API wraps the same clock: its timer entry points
+// are flagged in sim code too, so metrics can't smuggle wall time in.
+fn positive_telemetry_timer() {
+    let sw = xtsim_obs::Stopwatch::start();
+    let hist = xtsim_obs::histogram("x_seconds", "h");
+    hist.observe_since(&sw);
+    let _guard = hist.start_timer();
+}
+
+fn suppressed_telemetry_timer() {
+    // xtsim-lint: allow(wallclock-in-sim, "barrier-stall measurement, harness side")
+    let _sw = xtsim_obs::Stopwatch::start();
+}
+
 fn negative(start: Instant) -> std::time::Duration {
+    // Plain observe takes a value the caller computed; it reads no clock.
+    let hist = xtsim_obs::histogram("y_seconds", "h");
+    hist.observe(0.5);
     start.elapsed()
 }

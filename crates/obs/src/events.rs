@@ -1,0 +1,250 @@
+//! Structured, leveled event log (`xtsim-events-v1`).
+//!
+//! Replaces the workspace's scattered `eprintln!` diagnostics with one
+//! funnel: every event has a level, a target (the subsystem that emitted
+//! it), a human message, and structured `key=value` fields. Two sinks:
+//!
+//! * **stderr** — events at WARN and above are mirrored as
+//!   `warning: <message>` / `error: <message>` (the exact text the old
+//!   `eprintln!` calls produced), followed by ` [k=v ...]` when fields are
+//!   present, so humans lose nothing in the migration.
+//! * **JSONL** — when a sink path is installed via [`set_json_path`],
+//!   every event (all levels) is appended as one `xtsim-events-v1` JSON
+//!   record per line: `schema`, `ts_unix` (wall-clock seconds since the
+//!   epoch — harness-side only, never simulated time), `level`, `target`,
+//!   `message`, and a `fields` object.
+//!
+//! Emission also bumps the `xtsim_events_total{level=...}` counter in the
+//! global metrics registry, so event rates show up in `GET /metrics`.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Schema identifier written into every JSONL record.
+pub const SCHEMA: &str = "xtsim-events-v1";
+
+/// Event severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Verbose diagnostics.
+    Debug,
+    /// Routine progress.
+    Info,
+    /// Something degraded but handled (mirrored to stderr).
+    Warn,
+    /// Something failed (mirrored to stderr).
+    Error,
+}
+
+impl Level {
+    /// Lowercase name used in JSON records and metric labels.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    fn stderr_prefix(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warning",
+            Level::Error => "error",
+        }
+    }
+}
+
+struct Sink {
+    json: Option<File>,
+}
+
+fn sink() -> &'static Mutex<Sink> {
+    static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Sink { json: None }))
+}
+
+/// Install (or replace) the JSONL sink. The file is opened in append mode
+/// and created if missing. Returns an error string if it cannot be opened;
+/// the previous sink (if any) is left installed in that case.
+pub fn set_json_path(path: &std::path::Path) -> Result<(), String> {
+    let file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("cannot open event log {}: {e}", path.display()))?;
+    sink().lock().expect("event sink lock").json = Some(file);
+    Ok(())
+}
+
+/// Remove the JSONL sink (events still mirror to stderr at WARN+).
+pub fn clear_json_sink() {
+    sink().lock().expect("event sink lock").json = None;
+}
+
+fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn render_record(ts_unix: f64, level: Level, target: &str, message: &str, fields: &[(&str, &str)]) -> String {
+    let mut out = String::with_capacity(128 + message.len());
+    out.push_str("{\"schema\":\"");
+    out.push_str(SCHEMA);
+    out.push_str("\",\"ts_unix\":");
+    let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{ts_unix:.6}"));
+    out.push_str(",\"level\":\"");
+    out.push_str(level.as_str());
+    out.push_str("\",\"target\":\"");
+    json_escape_into(&mut out, target);
+    out.push_str("\",\"message\":\"");
+    json_escape_into(&mut out, message);
+    out.push_str("\",\"fields\":{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        json_escape_into(&mut out, k);
+        out.push_str("\":\"");
+        json_escape_into(&mut out, v);
+        out.push('"');
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Emit one event. `target` names the emitting subsystem
+/// (e.g. `"xtsim::sweep"`), `message` is the human-readable line, and
+/// `fields` carry the structured payload for machines.
+pub fn emit(level: Level, target: &str, message: &str, fields: &[(&str, &str)]) {
+    crate::metrics::counter_with(
+        "xtsim_events_total",
+        "Structured log events emitted, by level.",
+        &[("level", level.as_str())],
+    )
+    .inc();
+
+    if level >= Level::Warn {
+        let mut line = format!("{}: {}", level.stderr_prefix(), message);
+        if !fields.is_empty() {
+            line.push_str(" [");
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    line.push(' ');
+                }
+                let _ = std::fmt::Write::write_fmt(&mut line, format_args!("{k}={v}"));
+            }
+            line.push(']');
+        }
+        eprintln!("{line}");
+    }
+
+    let mut guard = sink().lock().expect("event sink lock");
+    if let Some(file) = guard.json.as_mut() {
+        let ts_unix = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0);
+        let record = render_record(ts_unix, level, target, message, fields);
+        // Best effort: a full disk must not take the harness down.
+        let _ = writeln!(file, "{record}");
+        let _ = file.flush();
+    }
+}
+
+/// Emit at DEBUG (JSONL sink only; not mirrored to stderr).
+pub fn debug(target: &str, message: &str, fields: &[(&str, &str)]) {
+    emit(Level::Debug, target, message, fields);
+}
+
+/// Emit at INFO (JSONL sink only; not mirrored to stderr).
+pub fn info(target: &str, message: &str, fields: &[(&str, &str)]) {
+    emit(Level::Info, target, message, fields);
+}
+
+/// Emit at WARN (mirrored to stderr as `warning: <message>`).
+pub fn warn(target: &str, message: &str, fields: &[(&str, &str)]) {
+    emit(Level::Warn, target, message, fields);
+}
+
+/// Emit at ERROR (mirrored to stderr as `error: <message>`).
+pub fn error(target: &str, message: &str, fields: &[(&str, &str)]) {
+    emit(Level::Error, target, message, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get<'a>(v: &'a serde_json::Value, k: &str) -> &'a serde_json::Value {
+        v.as_object().expect("object").get(k).expect(k)
+    }
+
+    // One test fn on purpose: the JSONL sink is process-global, and
+    // parallel test threads would interleave records.
+    #[test]
+    fn jsonl_sink_records_schema_and_escaping() {
+        let dir = std::env::temp_dir().join(format!("xtsim-obs-events-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let _ = std::fs::remove_file(&path);
+        set_json_path(&path).unwrap();
+
+        info("xtsim::test", "plain message", &[("figure", "fig12"), ("scale", "0.1")]);
+        warn("xtsim::test", "tricky \"quoted\" \\ back\nslash", &[("k", "v\twith\ttabs")]);
+        debug("xtsim::test", "no fields", &[]);
+        clear_json_sink();
+        // After clearing, emission must not append.
+        info("xtsim::test", "dropped", &[]);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "sink cleared but still appending: {text}");
+
+        for line in &lines {
+            let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON line");
+            assert_eq!(get(&v, "schema").as_str(), Some(SCHEMA));
+            assert!(get(&v, "ts_unix").as_f64().unwrap() > 0.0);
+            assert!(get(&v, "fields").as_object().is_some());
+        }
+        let first: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(get(&first, "level").as_str(), Some("info"));
+        assert_eq!(get(&first, "target").as_str(), Some("xtsim::test"));
+        assert_eq!(get(&first, "message").as_str(), Some("plain message"));
+        assert_eq!(get(get(&first, "fields"), "figure").as_str(), Some("fig12"));
+        assert_eq!(get(get(&first, "fields"), "scale").as_str(), Some("0.1"));
+        let second: serde_json::Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(get(&second, "level").as_str(), Some("warn"));
+        assert_eq!(
+            get(&second, "message").as_str(),
+            Some("tricky \"quoted\" \\ back\nslash")
+        );
+        assert_eq!(get(get(&second, "fields"), "k").as_str(), Some("v\twith\ttabs"));
+
+        // Level ordering backs the stderr-mirror threshold.
+        assert!(Level::Warn >= Level::Warn && Level::Error > Level::Warn && Level::Info < Level::Warn);
+
+        // Events bump the per-level counter in the global registry.
+        let snap = crate::metrics::snapshot();
+        assert!(snap.counter_sum("xtsim_events_total", &[("level", "info")]) >= 2);
+        assert!(snap.counter_sum("xtsim_events_total", &[("level", "warn")]) >= 1);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,40 @@
+#![forbid(unsafe_code)]
+//! # xtsim-obs — workspace-wide telemetry substrate
+//!
+//! The paper's whole method is measuring where time goes; this crate is the
+//! reproduction's own instrument rack. It provides three things, all
+//! process-wide and dependency-free:
+//!
+//! * [`metrics`] — a registry of named [`Counter`]s, [`Gauge`]s, and
+//!   log-linear [`Histogram`]s behind cheap atomic handles. Handles are
+//!   `Arc`s; incrementing is one atomic op, so instrumentation is safe to
+//!   leave on in hot harness paths.
+//! * [`prom`] — Prometheus text-format exposition
+//!   (`# HELP`/`# TYPE`, cumulative `_bucket{le=...}`/`_sum`/`_count`)
+//!   rendered from a registry [`Snapshot`]; served by `xtsim-serve` as
+//!   `GET /metrics`.
+//! * [`events`] — a structured, leveled JSONL event log
+//!   (`xtsim-events-v1`) replacing scattered `eprintln!` diagnostics.
+//!   WARN and above are mirrored to stderr for humans; every record can
+//!   also be appended to a JSONL sink for machines.
+//!
+//! ## Determinism contract
+//!
+//! Telemetry reads wall clocks ([`Stopwatch`], event timestamps) **only on
+//! the harness side**: nothing in here may feed simulated time, cache keys,
+//! or figure bytes. `xtsim-lint`'s `wallclock-in-sim` rule enforces the
+//! boundary — simulation crates cannot call [`Stopwatch::start`],
+//! `start_timer`, or `observe_since` (the rule flags those tokens), and
+//! `crates/obs` itself is the allowlisted implementation.
+
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod metrics;
+pub mod prom;
+
+pub use metrics::{
+    counter, counter_with, gauge, gauge_with, histogram, histogram_with, snapshot, Counter,
+    FamilySnapshot, Gauge, Histogram, HistogramSnapshot, MetricKind, Registry, SeriesSnapshot,
+    SeriesValue, Snapshot, Stopwatch,
+};

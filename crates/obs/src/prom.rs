@@ -1,0 +1,224 @@
+//! Prometheus text-format (version 0.0.4) exposition.
+//!
+//! Renders a registry [`Snapshot`](crate::metrics::Snapshot) into the
+//! line-oriented format Prometheus scrapes: `# HELP` / `# TYPE` headers per
+//! family, one sample line per series, and for histograms the cumulative
+//! `_bucket{le="..."}` ladder plus `_sum` / `_count`. Rendering is pure —
+//! same snapshot in, same bytes out — so exposition is as deterministic as
+//! the counters feeding it.
+
+use crate::metrics::{MetricKind, SeriesValue, Snapshot, BUCKET_BOUNDS};
+use std::fmt::Write as _;
+
+/// Content-Type for the exposition, per the Prometheus text format spec.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Escape a label value: backslash, double-quote, and newline.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape HELP text: backslash and newline (quotes are legal there).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render `{k1="v1",k2="v2"}`, with `extra` (e.g. an `le` pair) appended
+/// last. Returns the empty string when there are no labels at all.
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Format an `f64` the way Prometheus expects finite sums: Rust's shortest
+/// round-trip `Display`, which never produces exponents for our ladder
+/// bounds ("0.0000001" .. "500").
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf".to_string() } else { "-Inf".to_string() }
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render a snapshot as Prometheus text exposition.
+pub fn render(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for fam in &snap.families {
+        let _ = writeln!(out, "# HELP {} {}", fam.name, escape_help(&fam.help));
+        let _ = writeln!(out, "# TYPE {} {}", fam.name, fam.kind.as_str());
+        for series in &fam.series {
+            match (&series.value, fam.kind) {
+                (SeriesValue::Counter(n), MetricKind::Counter)
+                | (SeriesValue::Gauge(n), MetricKind::Gauge) => {
+                    let _ =
+                        writeln!(out, "{}{} {n}", fam.name, label_block(&series.labels, None));
+                }
+                (SeriesValue::Histogram(h), MetricKind::Histogram) => {
+                    let mut cumulative = 0u64;
+                    for (i, &bound) in BUCKET_BOUNDS.iter().enumerate() {
+                        cumulative += h.bucket_counts[i];
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {cumulative}",
+                            fam.name,
+                            label_block(&series.labels, Some(("le", &fmt_f64(bound)))),
+                        );
+                    }
+                    cumulative += h.bucket_counts[BUCKET_BOUNDS.len()];
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {cumulative}",
+                        fam.name,
+                        label_block(&series.labels, Some(("le", "+Inf"))),
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        fam.name,
+                        label_block(&series.labels, None),
+                        fmt_f64(h.sum)
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        fam.name,
+                        label_block(&series.labels, None),
+                        h.count
+                    );
+                }
+                // The registry enforces kind/handle agreement; this arm is
+                // unreachable but keeps the match total.
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Render the process-global registry.
+pub fn render_global() -> String {
+    render(&crate::metrics::snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn counter_and_gauge_lines() {
+        let reg = Registry::new();
+        reg.counter("a_total", "things").add(3);
+        reg.gauge_with("b_depth", "depth", &[("pool", "x")]).set(7);
+        let text = render(&reg.snapshot());
+        assert!(text.contains("# HELP a_total things\n"));
+        assert!(text.contains("# TYPE a_total counter\n"));
+        assert!(text.contains("\na_total 3\n"));
+        assert!(text.contains("# TYPE b_depth gauge\n"));
+        assert!(text.contains("b_depth{pool=\"x\"} 7\n"));
+    }
+
+    #[test]
+    fn label_value_escaping() {
+        let reg = Registry::new();
+        reg.counter_with("esc_total", "h", &[("k", "a\\b\"c\nd")]).inc();
+        let text = render(&reg.snapshot());
+        assert!(
+            text.contains(r#"esc_total{k="a\\b\"c\nd"} 1"#),
+            "escaping wrong in: {text}"
+        );
+    }
+
+    #[test]
+    fn help_escaping() {
+        let reg = Registry::new();
+        reg.counter("h_total", "line1\nline2 \\ end").inc();
+        let text = render(&reg.snapshot());
+        assert!(text.contains("# HELP h_total line1\\nline2 \\\\ end\n"));
+    }
+
+    #[test]
+    fn histogram_exposition_invariants() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_seconds", "latency");
+        h.observe(0.0015);
+        h.observe(0.003);
+        h.observe(7000.0); // overflow
+        let text = render(&reg.snapshot());
+        assert!(text.contains("# TYPE lat_seconds histogram\n"));
+        // Cumulative buckets must be monotone and end at _count.
+        let mut prev = 0u64;
+        let mut inf = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("lat_seconds_bucket{le=\"") {
+                let (le, count) = rest.split_once("\"} ").unwrap();
+                let count: u64 = count.parse().unwrap();
+                assert!(count >= prev, "bucket counts must be cumulative: {line}");
+                prev = count;
+                if le == "+Inf" {
+                    inf = Some(count);
+                }
+            }
+        }
+        let count_line = text
+            .lines()
+            .find(|l| l.starts_with("lat_seconds_count"))
+            .unwrap();
+        let total: u64 = count_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert_eq!(inf, Some(total), "+Inf bucket must equal _count");
+        assert_eq!(total, 3);
+        let sum_line = text.lines().find(|l| l.starts_with("lat_seconds_sum")).unwrap();
+        let sum: f64 = sum_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!((sum - 7000.0045).abs() < 1e-9);
+    }
+
+    #[test]
+    fn le_labels_are_plain_decimal() {
+        let reg = Registry::new();
+        reg.histogram("x_seconds", "h").observe(0.1);
+        let text = render(&reg.snapshot());
+        assert!(text.contains("le=\"0.0000001\""), "smallest bound must not be exponent-form");
+        assert!(text.contains("le=\"500\""));
+        assert!(!text.contains('e') || !text.contains("le=\"1e"), "no exponent le labels");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let reg = Registry::new();
+        reg.counter_with("d_total", "h", &[("b", "2"), ("a", "1")]).inc();
+        reg.histogram("d_seconds", "h").observe(0.5);
+        let a = render(&reg.snapshot());
+        let b = render(&reg.snapshot());
+        assert_eq!(a, b);
+    }
+}

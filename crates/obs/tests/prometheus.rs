@@ -1,0 +1,146 @@
+//! Exposition-correctness tests against a full parse of the rendered text:
+//! every sample line must scan, histogram ladders must be cumulative and
+//! self-consistent, and concurrent increments must all be visible.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use xtsim_obs::metrics::Registry;
+use xtsim_obs::prom;
+
+/// Samples grouped by metric name: name -> Vec<(label-block, value)>.
+type Samples = BTreeMap<String, Vec<(String, f64)>>;
+
+/// Minimal parser for the subset of the text format we emit: returns
+/// (type-by-family, samples).
+fn parse(text: &str) -> (BTreeMap<String, String>, Samples) {
+    let mut types = BTreeMap::new();
+    let mut samples: Samples = BTreeMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').expect("TYPE line shape");
+            types.insert(name.to_string(), kind.to_string());
+        } else if line.starts_with("# HELP ") {
+            continue;
+        } else if !line.is_empty() {
+            let (series, value) = line.rsplit_once(' ').expect("sample line shape");
+            let value: f64 = value.parse().expect("sample value is a number");
+            let (name, labels) = match series.find('{') {
+                Some(i) => (&series[..i], &series[i..]),
+                None => (series, ""),
+            };
+            samples
+                .entry(name.to_string())
+                .or_default()
+                .push((labels.to_string(), value));
+        }
+    }
+    (types, samples)
+}
+
+#[test]
+fn every_line_parses_and_has_type_metadata() {
+    let reg = Registry::new();
+    reg.counter_with("p_requests_total", "req", &[("route", "/runs"), ("status", "2xx")])
+        .add(4);
+    reg.gauge("p_depth", "queue depth").set(2);
+    reg.histogram("p_wait_seconds", "wait").observe(0.02);
+    let text = prom::render(&reg.snapshot());
+    let (types, samples) = parse(&text);
+
+    assert_eq!(types.get("p_requests_total").map(String::as_str), Some("counter"));
+    assert_eq!(types.get("p_depth").map(String::as_str), Some("gauge"));
+    assert_eq!(types.get("p_wait_seconds").map(String::as_str), Some("histogram"));
+
+    // Every sample belongs to a declared family (histogram samples via
+    // their _bucket/_sum/_count suffixes).
+    for name in samples.keys() {
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(name);
+        assert!(
+            types.contains_key(base),
+            "sample {name} has no # TYPE metadata (base {base})"
+        );
+    }
+
+    let req = &samples["p_requests_total"];
+    assert_eq!(req.len(), 1);
+    assert_eq!(req[0].0, "{route=\"/runs\",status=\"2xx\"}");
+    assert_eq!(req[0].1, 4.0);
+}
+
+#[test]
+fn histogram_ladder_is_cumulative_monotone_with_inf_equal_to_count() {
+    let reg = Registry::new();
+    let h = reg.histogram("lat_seconds", "latency");
+    for v in [1e-6, 5e-4, 5e-4, 0.3, 42.0, 9999.0] {
+        h.observe(v);
+    }
+    let text = prom::render(&reg.snapshot());
+    let (_, samples) = parse(&text);
+
+    let buckets = &samples["lat_seconds_bucket"];
+    assert_eq!(
+        buckets.len(),
+        xtsim_obs::metrics::BUCKET_BOUNDS.len() + 1,
+        "full ladder plus +Inf must always be rendered"
+    );
+    let mut prev = 0.0;
+    let mut prev_le = f64::NEG_INFINITY;
+    for (labels, count) in buckets {
+        let le = labels
+            .trim_start_matches("{le=\"")
+            .trim_end_matches("\"}");
+        let le_v = if le == "+Inf" { f64::INFINITY } else { le.parse().unwrap() };
+        assert!(le_v > prev_le, "le bounds must be strictly increasing: {labels}");
+        assert!(*count >= prev, "cumulative counts must be monotone: {labels}");
+        prev = *count;
+        prev_le = le_v;
+    }
+    assert!(prev_le.is_infinite(), "ladder must end at +Inf");
+    let count = samples["lat_seconds_count"][0].1;
+    assert_eq!(prev, count, "+Inf cumulative bucket must equal _count");
+    assert_eq!(count, 6.0);
+    let sum = samples["lat_seconds_sum"][0].1;
+    assert!((sum - (1e-6 + 5e-4 + 5e-4 + 0.3 + 42.0 + 9999.0)).abs() < 1e-6);
+}
+
+#[test]
+fn concurrent_counter_increments_are_all_visible() {
+    let reg = Arc::new(Registry::new());
+    let threads = 8;
+    let per_thread = 10_000u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let reg = Arc::clone(&reg);
+            s.spawn(move || {
+                // Half the threads re-register each time (exercising the
+                // registry path), half hold the handle (the hot path).
+                if t % 2 == 0 {
+                    let c = reg.counter("conc_total", "concurrency test");
+                    for _ in 0..per_thread {
+                        c.inc();
+                    }
+                } else {
+                    for _ in 0..per_thread {
+                        reg.counter("conc_total", "concurrency test").inc();
+                    }
+                }
+            });
+        }
+    });
+    let text = prom::render(&reg.snapshot());
+    let (_, samples) = parse(&text);
+    assert_eq!(samples["conc_total"][0].1, (threads as u64 * per_thread) as f64);
+}
+
+#[test]
+fn global_registry_round_trips_through_render_global() {
+    xtsim_obs::counter("g_smoke_total", "global smoke").add(2);
+    let text = prom::render_global();
+    let (types, samples) = parse(&text);
+    assert_eq!(types.get("g_smoke_total").map(String::as_str), Some("counter"));
+    assert!(samples["g_smoke_total"][0].1 >= 2.0);
+}

@@ -115,11 +115,16 @@ fn registry_by_figure(records: &[Value]) -> BTreeMap<String, (Vec<f64>, BTreeMap
 }
 
 /// Render the full dashboard page.
+///
+/// `telemetry` is an explicit snapshot (not the live global registry) so
+/// rendering stays a pure function of its inputs — the same-inputs,
+/// same-bytes determinism test depends on it.
 pub fn render(
     registry_records: &[Value],
     bench_files: &[(String, Value)],
     cache: Option<&CacheStats>,
     queue: Option<&QueueStats>,
+    telemetry: Option<&xtsim_obs::Snapshot>,
 ) -> String {
     let mut page = String::from(
         "<!doctype html><html><head><meta charset=\"utf-8\">\
@@ -197,6 +202,73 @@ pub fn render(
         page.push_str("</table>");
     }
 
+    // --- telemetry ---------------------------------------------------------
+    if let Some(snap) = telemetry {
+        page.push_str("<h2>Telemetry (live metrics registry)</h2>");
+        let hits = snap.counter_sum("xtsim_cache_lookups_total", &[("result", "hit")]);
+        let misses = snap.counter_sum("xtsim_cache_lookups_total", &[("result", "miss")]);
+        let mismatches =
+            snap.counter_sum("xtsim_cache_lookups_total", &[("result", "key_mismatch")]);
+        let lookups = hits + misses + mismatches;
+        page.push_str("<div class=\"tiles\">");
+        if lookups > 0 {
+            page.push_str(&format!(
+                "<div class=\"tile\"><b>{}%</b>cache hit ratio ({hits}/{lookups} lookups)</div>",
+                fmt(100.0 * hits as f64 / lookups as f64)
+            ));
+        } else {
+            page.push_str(
+                "<div class=\"tile\"><b>&ndash;</b>cache hit ratio (no lookups yet)</div>",
+            );
+        }
+        page.push_str(&format!(
+            "<div class=\"tile\"><b>{}</b>queue rejections (429)</div>",
+            snap.counter_sum("xtsim_queue_rejected_total", &[])
+        ));
+        page.push_str(&format!(
+            "<div class=\"tile\"><b>{}</b>HTTP requests</div></div>",
+            snap.counter_sum("xtsim_http_requests_total", &[])
+        ));
+
+        page.push_str("<h2>Queue wait latency</h2>");
+        let wait = snap
+            .family("xtsim_queue_wait_seconds")
+            .and_then(|f| f.series.first())
+            .and_then(|s| match &s.value {
+                xtsim_obs::SeriesValue::Histogram(h) if h.count > 0 => Some(h.clone()),
+                _ => None,
+            });
+        match wait {
+            None => page.push_str("<p class=\"muted\">No queued runs observed yet.</p>"),
+            Some(h) => {
+                let max = h.bucket_counts.iter().copied().max().unwrap_or(1).max(1) as f64;
+                page.push_str(&format!(
+                    "<p class=\"muted\">{} waits, mean {} s</p>\
+                     <table><tr><th>&le; seconds</th><th>runs</th></tr>",
+                    h.count,
+                    fmt(h.mean())
+                ));
+                for (i, &n) in h.bucket_counts.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    let le = xtsim_obs::metrics::BUCKET_BOUNDS
+                        .get(i)
+                        .map_or("+Inf".to_string(), |b| format!("{b}"));
+                    let w = (220.0 * n as f64 / max).max(1.0);
+                    page.push_str(&format!(
+                        "<tr><td>{le}</td><td><svg width=\"300\" height=\"14\" \
+                         viewBox=\"0 0 300 14\"><rect x=\"0\" y=\"2\" width=\"{w:.1}\" \
+                         height=\"10\" fill=\"#43aa8b\"/><text x=\"{:.1}\" y=\"11\" \
+                         font-size=\"10\" fill=\"#333\">{n}</text></svg></td></tr>",
+                        w + 4.0
+                    ));
+                }
+                page.push_str("</table>");
+            }
+        }
+    }
+
     // --- bench medians -----------------------------------------------------
     page.push_str("<h2>Bench medians (committed BENCH_*.json)</h2>");
     if bench_files.is_empty() {
@@ -261,16 +333,48 @@ mod tests {
             "{\"schema\":\"xtsim-bench-v1\",\"benches\":{\"fluid_pool/flows_1k\":{\"median_ms\":12.5,\"iters\":5}}}",
         )
         .unwrap();
-        let html = render(&records, &[("BENCH_X.json".to_string(), bench)], None, None);
+        let html = render(&records, &[("BENCH_X.json".to_string(), bench)], None, None, None);
         assert!(html.contains("<svg"), "no inline SVG rendered");
         assert!(html.contains("fig02") && html.contains("fig12"));
         assert!(html.contains("fluid_pool/flows_1k"));
         assert!(html.contains("12.5 ms"));
         assert!(html.contains("1×failed"));
         // Deterministic: same inputs, same bytes.
-        let again = render(&records, &[], None, None);
-        let again2 = render(&records, &[], None, None);
+        let again = render(&records, &[], None, None, None);
+        let again2 = render(&records, &[], None, None, None);
         assert_eq!(again, again2);
+    }
+
+    #[test]
+    fn telemetry_panel_renders_hit_ratio_and_wait_histogram() {
+        // A private registry keeps this test independent of whatever other
+        // tests did to the process-global one.
+        let reg = xtsim_obs::Registry::new();
+        reg.counter_with("xtsim_cache_lookups_total", "h", &[("result", "hit")]).add(3);
+        reg.counter_with("xtsim_cache_lookups_total", "h", &[("result", "miss")]).add(1);
+        let wait = reg.histogram("xtsim_queue_wait_seconds", "h");
+        wait.observe(0.004);
+        wait.observe(0.004);
+        wait.observe(1.3);
+        let snap = reg.snapshot();
+
+        let html = render(&[], &[], None, None, Some(&snap));
+        assert!(html.contains("cache hit ratio"), "hit-ratio tile missing");
+        assert!(html.contains("75%"), "3/4 lookups must render as 75%: {html}");
+        assert!(html.contains("Queue wait latency"));
+        assert!(html.contains("<td>0.005</td>"), "0.004s waits land in the 5ms bucket");
+        assert!(html.contains(">2</text>"), "bucket count 2 must appear in the bar label");
+        // Deterministic for a fixed snapshot.
+        assert_eq!(
+            render(&[], &[], None, None, Some(&snap)),
+            render(&[], &[], None, None, Some(&snap))
+        );
+
+        // An empty snapshot renders placeholders, not panics.
+        let empty = xtsim_obs::Registry::new().snapshot();
+        let html = render(&[], &[], None, None, Some(&empty));
+        assert!(html.contains("no lookups yet"));
+        assert!(html.contains("No queued runs observed yet"));
     }
 
     #[test]

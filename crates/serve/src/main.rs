@@ -5,7 +5,7 @@
 //! ```text
 //! xtsim-serve [--port N] [--queue-cap N] [--max-concurrent N] [--jobs N]
 //!             [--cache-dir DIR | --no-cache] [--registry-dir DIR]
-//!             [--bench-root DIR] [--dashboard DIR]
+//!             [--bench-root DIR] [--dashboard DIR] [--events FILE]
 //! ```
 //!
 //! Server mode (default) binds `127.0.0.1:<port>` (`--port 0` picks an
@@ -35,6 +35,7 @@ struct Args {
     registry_dir: PathBuf,
     bench_root: PathBuf,
     dashboard: Option<PathBuf>,
+    events: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -48,6 +49,7 @@ fn parse_args() -> Args {
         registry_dir: Registry::default_dir(),
         bench_root: PathBuf::from("."),
         dashboard: None,
+        events: None,
     };
     let mut it = std::env::args().skip(1);
     let need = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -77,11 +79,12 @@ fn parse_args() -> Args {
             "--registry-dir" => args.registry_dir = PathBuf::from(need(&mut it, "--registry-dir")),
             "--bench-root" => args.bench_root = PathBuf::from(need(&mut it, "--bench-root")),
             "--dashboard" => args.dashboard = Some(PathBuf::from(need(&mut it, "--dashboard"))),
+            "--events" => args.events = Some(PathBuf::from(need(&mut it, "--events"))),
             "--help" | "-h" => {
                 println!(
                     "usage: xtsim-serve [--port N] [--queue-cap N] [--max-concurrent N] [--jobs N]\n\
                      \x20                  [--cache-dir DIR | --no-cache] [--registry-dir DIR]\n\
-                     \x20                  [--bench-root DIR] [--dashboard DIR]"
+                     \x20                  [--bench-root DIR] [--dashboard DIR] [--events FILE]"
                 );
                 std::process::exit(0);
             }
@@ -106,12 +109,24 @@ fn parse_positive(v: &str, flag: &str) -> usize {
 
 fn main() {
     let args = parse_args();
+    if let Some(path) = &args.events {
+        // Structured JSONL event log: all levels go to the file, WARN+
+        // still mirrors to stderr either way.
+        if let Err(e) = xtsim_obs::events::set_json_path(path) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
     let registry = match Registry::open(&args.registry_dir) {
         Ok(reg) => Some(Arc::new(reg)),
         Err(e) => {
-            eprintln!(
-                "warning: cannot open registry at {}: {e}; running without one",
-                args.registry_dir.display()
+            xtsim_obs::events::warn(
+                "xtsim_serve::main",
+                &format!(
+                    "cannot open registry at {}: {e}; running without one",
+                    args.registry_dir.display()
+                ),
+                &[("registry_dir", &args.registry_dir.display().to_string())],
             );
             None
         }
@@ -126,7 +141,7 @@ fn main() {
             .then(|| DiskCache::new(&args.cache_dir).ok())
             .flatten()
             .map(|c| c.stats());
-        let html = dashboard::render(&records, &bench, cache.as_ref(), None);
+        let html = dashboard::render(&records, &bench, cache.as_ref(), None, None);
         match dashboard::write_to(dir, &html) {
             Ok(path) => println!("dashboard written to {}", path.display()),
             Err(e) => {

@@ -10,12 +10,39 @@
 //! control with a blocking stub instead of real multi-second figure runs.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use serde::impl_serde_struct;
 use xtsim::report::Scale;
 use xtsim::sweep::FigureMetrics;
+
+/// Queue telemetry handles (process-wide, registered once). Wall-clock
+/// only — the queue is pure harness, nothing here touches simulated time.
+struct QueueMetrics {
+    wait_seconds: Arc<xtsim_obs::Histogram>,
+    service_seconds: Arc<xtsim_obs::Histogram>,
+    rejected: Arc<xtsim_obs::Counter>,
+}
+
+fn queue_metrics() -> &'static QueueMetrics {
+    static M: OnceLock<QueueMetrics> = OnceLock::new();
+    M.get_or_init(|| QueueMetrics {
+        wait_seconds: xtsim_obs::histogram(
+            "xtsim_queue_wait_seconds",
+            "Time a run sat in the bounded queue before a worker claimed it.",
+        ),
+        service_seconds: xtsim_obs::histogram(
+            "xtsim_queue_service_seconds",
+            "Time a worker spent executing a claimed run.",
+        ),
+        rejected: xtsim_obs::counter(
+            "xtsim_queue_rejected_total",
+            "Submissions turned away by admission control (HTTP 429).",
+        ),
+    })
+}
 
 /// One scenario request: which figure, at what scale, with what engine knobs.
 #[derive(Debug, Clone)]
@@ -86,6 +113,12 @@ pub struct RunRecord {
     pub output: Option<RunOutput>,
     /// Error text once `status` is `Failed`.
     pub error: Option<String>,
+    /// Seconds the run sat queued before a worker claimed it (set when the
+    /// run leaves `Queued`).
+    pub wait_secs: Option<f64>,
+    /// Seconds the executor spent on the run (set when it finishes, for
+    /// `Done` and `Failed` alike).
+    pub exec_secs: Option<f64>,
 }
 
 /// Queue-level counters for `/stats`.
@@ -117,11 +150,17 @@ pub enum Rejected {
 }
 
 /// The run executor: performs the actual figure run for an admitted
-/// request. Receives the run id so it can stamp registry records.
-pub type Executor = Arc<dyn Fn(u64, &RunRequest) -> Result<RunOutput, String> + Send + Sync>;
+/// request. Receives the run id (to stamp registry records) and the
+/// measured queue wait in seconds (so records can carry `wait_secs` —
+/// the scheduler is the only party that knows it).
+pub type Executor =
+    Arc<dyn Fn(u64, &RunRequest, f64) -> Result<RunOutput, String> + Send + Sync>;
 
 struct State {
     queue: VecDeque<u64>,
+    /// Submission instants for queued runs, keyed by id; consumed when a
+    /// worker claims the run to produce `wait_secs`.
+    submitted: BTreeMap<u64, Instant>,
     runs: BTreeMap<u64, RunRecord>,
     next_id: u64,
     running: u64,
@@ -150,6 +189,7 @@ impl Scheduler {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
+                submitted: BTreeMap::new(),
                 runs: BTreeMap::new(),
                 next_id: 1,
                 running: 0,
@@ -175,14 +215,24 @@ impl Scheduler {
         let mut st = self.shared.state.lock().unwrap();
         if st.queue.len() >= self.capacity {
             st.rejected += 1;
+            queue_metrics().rejected.inc();
             return Err(Rejected::QueueFull);
         }
         let id = st.next_id;
         st.next_id += 1;
         st.runs.insert(
             id,
-            RunRecord { id, request, status: RunStatus::Queued, output: None, error: None },
+            RunRecord {
+                id,
+                request,
+                status: RunStatus::Queued,
+                output: None,
+                error: None,
+                wait_secs: None,
+                exec_secs: None,
+            },
         );
+        st.submitted.insert(id, Instant::now());
         st.queue.push_back(id);
         drop(st);
         self.shared.work.notify_one();
@@ -230,7 +280,7 @@ impl Scheduler {
 
 fn worker_loop(shared: &Shared, exec: &Executor) {
     loop {
-        let (id, request) = {
+        let (id, request, wait) = {
             let mut st = shared.state.lock().unwrap();
             loop {
                 if st.shutdown {
@@ -238,17 +288,28 @@ fn worker_loop(shared: &Shared, exec: &Executor) {
                 }
                 if let Some(id) = st.queue.pop_front() {
                     st.running += 1;
+                    let wait = st
+                        .submitted
+                        .remove(&id)
+                        .map(|t| t.elapsed().as_secs_f64())
+                        .unwrap_or(0.0);
+                    queue_metrics().wait_seconds.observe(wait);
                     let rec = st.runs.get_mut(&id).expect("queued run exists");
                     rec.status = RunStatus::Running;
-                    break (id, rec.request.clone());
+                    rec.wait_secs = Some(wait);
+                    break (id, rec.request.clone(), wait);
                 }
                 st = shared.work.wait(st).unwrap();
             }
         };
-        let outcome = exec(id, &request);
+        let started = Instant::now();
+        let outcome = exec(id, &request, wait);
+        let exec_secs = started.elapsed().as_secs_f64();
+        queue_metrics().service_seconds.observe(exec_secs);
         let mut st = shared.state.lock().unwrap();
         st.running -= 1;
         let rec = st.runs.get_mut(&id).expect("running run exists");
+        rec.exec_secs = Some(exec_secs);
         match outcome {
             Ok(out) => {
                 rec.status = RunStatus::Done;
@@ -281,7 +342,7 @@ mod tests {
     }
 
     fn instant_exec() -> Executor {
-        Arc::new(|_id, req: &RunRequest| {
+        Arc::new(|_id, req: &RunRequest, _wait: f64| {
             Ok(RunOutput {
                 result_json: format!("{{\"id\":\"{}\"}}", req.figure),
                 wall_secs: 0.0,
@@ -308,6 +369,9 @@ mod tests {
         });
         let rec = sched.run(b).unwrap();
         assert_eq!(rec.output.unwrap().result_json, "{\"id\":\"fig02\"}");
+        assert!(rec.wait_secs.is_some(), "completed run must expose queue wait");
+        assert!(rec.exec_secs.is_some(), "completed run must expose exec time");
+        assert!(rec.wait_secs.unwrap() >= 0.0 && rec.exec_secs.unwrap() >= 0.0);
         let stats = sched.stats();
         assert_eq!((stats.done, stats.failed, stats.queued), (2, 0, 0));
         sched.shutdown();
@@ -320,7 +384,7 @@ mod tests {
         let release_rx = Arc::new(Mutex::new(release_rx));
         let exec: Executor = {
             let release_rx = Arc::clone(&release_rx);
-            Arc::new(move |_id, req: &RunRequest| {
+            Arc::new(move |_id, req: &RunRequest, _wait: f64| {
                 release_rx.lock().unwrap().recv().map_err(|e| e.to_string())?;
                 Ok(RunOutput {
                     result_json: req.figure.clone(),
@@ -358,11 +422,12 @@ mod tests {
 
     #[test]
     fn executor_errors_mark_runs_failed() {
-        let exec: Executor = Arc::new(|_id, _: &RunRequest| Err("boom".to_string()));
+        let exec: Executor = Arc::new(|_id, _: &RunRequest, _wait: f64| Err("boom".to_string()));
         let sched = Scheduler::new(4, 1, exec);
         let id = sched.submit(req("fig01")).unwrap();
         wait_until(|| sched.run(id).unwrap().status == RunStatus::Failed);
         assert_eq!(sched.run(id).unwrap().error.as_deref(), Some("boom"));
+        assert!(sched.run(id).unwrap().exec_secs.is_some(), "failed runs are timed too");
         assert_eq!(sched.stats().failed, 1);
         sched.shutdown();
     }

@@ -104,6 +104,14 @@ pub fn make_record(rec: &RunRecord, finished_unix: f64) -> Value {
     params.insert("des_threads".into(), rec.request.des_threads.into());
     m.insert("params".into(), Value::Object(params));
     m.insert("outcome".into(), rec.status.label().into());
+    // Queue timing (absent on records from before these fields existed;
+    // replay consumers must treat them as optional).
+    if let Some(w) = rec.wait_secs {
+        m.insert("wait_secs".into(), w.into());
+    }
+    if let Some(e) = rec.exec_secs {
+        m.insert("exec_secs".into(), e.into());
+    }
     if let Some(e) = &rec.error {
         m.insert("error".into(), e.as_str().into());
     }
@@ -151,6 +159,8 @@ mod tests {
                     metrics: None,
                 }),
                 error: None,
+                wait_secs: Some(0.25),
+                exec_secs: Some(wall),
             },
             1754000000.0 + id as f64,
         )
@@ -177,6 +187,37 @@ mod tests {
             first.get("params").unwrap().as_object().unwrap().get("jobs"),
             Some(&Value::Int(2))
         );
+        assert_eq!(first.get("wait_secs").unwrap().as_f64(), Some(0.25));
+        assert_eq!(first.get("exec_secs").unwrap().as_f64(), Some(0.5));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_tolerates_records_without_queue_timing() {
+        // Records appended by versions that predate wait_secs/exec_secs
+        // simply lack the keys; replay must hand them back unchanged.
+        let dir =
+            std::env::temp_dir().join(format!("xtsim-registry-old-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let reg = Registry::open(&dir).unwrap();
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(reg.path())
+            .unwrap();
+        f.write_all(
+            b"{\"schema\":\"xtsim-registry-v1\",\"run_id\":7,\"figure\":\"fig02\",\
+              \"outcome\":\"done\",\"wall_secs\":1.5,\"finished_unix\":1754000000.0}\n",
+        )
+        .unwrap();
+        drop(f);
+        let replay = reg.replay();
+        assert_eq!(replay.skipped, 0);
+        assert_eq!(replay.records.len(), 1);
+        let rec = replay.records[0].as_object().unwrap();
+        assert!(rec.get("wait_secs").is_none());
+        assert!(rec.get("exec_secs").is_none());
+        assert_eq!(rec.get("run_id").unwrap().as_i64(), Some(7));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

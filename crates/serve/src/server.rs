@@ -63,7 +63,7 @@ pub fn unix_now() -> f64 {
 /// [`xtsim::report::FigureResult`] — byte-identical to the CLI's
 /// `<id>.json` artifact for the same (figure, scale, des-threads).
 pub fn figure_executor(cache_dir: Option<PathBuf>, registry: Option<Arc<Registry>>) -> Executor {
-    Arc::new(move |id: u64, req: &RunRequest| {
+    Arc::new(move |id: u64, req: &RunRequest, wait_secs: f64| {
         let run = || -> Result<crate::queue::RunOutput, String> {
             let fig = catalog()
                 .into_iter()
@@ -75,9 +75,13 @@ pub fn figure_executor(cache_dir: Option<PathBuf>, registry: Option<Arc<Registry
             if let Some(dir) = &cache_dir {
                 match DiskCache::new(dir) {
                     Ok(cache) => cfg = cfg.with_cache(cache),
-                    Err(e) => eprintln!(
-                        "warning: cannot open cache at {}: {e}; running uncached",
-                        dir.display()
+                    Err(e) => xtsim_obs::events::warn(
+                        "xtsim_serve::executor",
+                        &format!(
+                            "cannot open cache at {}: {e}; running uncached",
+                            dir.display()
+                        ),
+                        &[("run_id", &id.to_string()), ("cache_dir", &dir.display().to_string())],
                     ),
                 }
             }
@@ -93,7 +97,16 @@ pub fn figure_executor(cache_dir: Option<PathBuf>, registry: Option<Arc<Registry
                 metrics: stats.metrics,
             })
         };
+        let started = Instant::now();
         let outcome = run();
+        let exec_secs = started.elapsed().as_secs_f64();
+        if let Err(e) = &outcome {
+            xtsim_obs::events::error(
+                "xtsim_serve::executor",
+                &format!("run {id} ({}) failed: {e}", req.figure),
+                &[("run_id", &id.to_string()), ("figure", &req.figure)],
+            );
+        }
         if let Some(reg) = &registry {
             // Record the outcome either way; a failed run is history too.
             let rec = RunRecord {
@@ -102,9 +115,15 @@ pub fn figure_executor(cache_dir: Option<PathBuf>, registry: Option<Arc<Registry
                 status: if outcome.is_ok() { RunStatus::Done } else { RunStatus::Failed },
                 output: outcome.as_ref().ok().cloned(),
                 error: outcome.as_ref().err().cloned(),
+                wait_secs: Some(wait_secs),
+                exec_secs: Some(exec_secs),
             };
             if let Err(e) = reg.append(&make_record(&rec, unix_now())) {
-                eprintln!("warning: registry append failed: {e}");
+                xtsim_obs::events::warn(
+                    "xtsim_serve::executor",
+                    &format!("registry append failed: {e}"),
+                    &[("run_id", &id.to_string())],
+                );
             }
         }
         outcome
@@ -132,6 +151,12 @@ fn run_envelope(rec: &RunRecord) -> Value {
         ("des_threads", rec.request.des_threads.into()),
         ("status", rec.status.label().into()),
     ];
+    if let Some(w) = rec.wait_secs {
+        fields.push(("wait_secs", w.into()));
+    }
+    if let Some(e) = rec.exec_secs {
+        fields.push(("exec_secs", e.into()));
+    }
     if let Some(out) = &rec.output {
         fields.push(("wall_secs", out.wall_secs.into()));
         fields.push(("computed", out.computed.into()));
@@ -188,8 +213,53 @@ fn parse_run_request(body: &[u8], default_jobs: usize) -> Result<RunRequest, Res
     Ok(RunRequest { figure, scale, jobs, des_threads })
 }
 
-/// Dispatch one request against the service state.
+/// Normalized route pattern for metric labels: path parameters collapse to
+/// `:id` so label cardinality stays bounded no matter how many runs exist.
+fn route_label(method: &str, path: &str) -> &'static str {
+    let segs: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (method, segs.as_slice()) {
+        ("GET", []) => "GET /",
+        ("GET", ["figures"]) => "GET /figures",
+        ("POST", ["runs"]) => "POST /runs",
+        ("GET", ["runs"]) => "GET /runs",
+        ("GET", ["runs", _]) => "GET /runs/:id",
+        ("GET", ["runs", _, "result"]) => "GET /runs/:id/result",
+        ("GET", ["registry"]) => "GET /registry",
+        ("GET", ["stats"]) => "GET /stats",
+        ("GET", ["metrics"]) => "GET /metrics",
+        ("GET", ["dashboard"]) => "GET /dashboard",
+        _ => "other",
+    }
+}
+
+/// Dispatch one request against the service state, recording per-route
+/// request count (by status class) and latency in the global registry.
 pub fn handle(req: &Request, state: &AppState) -> Response {
+    let route = route_label(req.method.as_str(), &req.path);
+    let sw = xtsim_obs::Stopwatch::start();
+    let resp = dispatch(req, state);
+    xtsim_obs::histogram_with(
+        "xtsim_http_request_seconds",
+        "HTTP request handling latency by normalized route.",
+        &[("route", route)],
+    )
+    .observe_since(&sw);
+    let class: &str = match resp.status {
+        200..=299 => "2xx",
+        300..=399 => "3xx",
+        400..=499 => "4xx",
+        _ => "5xx",
+    };
+    xtsim_obs::counter_with(
+        "xtsim_http_requests_total",
+        "HTTP requests handled, by normalized route and status class.",
+        &[("route", route), ("status", class)],
+    )
+    .inc();
+    resp
+}
+
+fn dispatch(req: &Request, state: &AppState) -> Response {
     let segs: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segs.as_slice()) {
         ("GET", []) => json_response(
@@ -208,6 +278,7 @@ pub fn handle(req: &Request, state: &AppState) -> Response {
                             "GET /runs/<id>/result",
                             "GET /registry",
                             "GET /stats",
+                            "GET /metrics",
                             "GET /dashboard",
                         ]
                         .iter()
@@ -319,6 +390,11 @@ pub fn handle(req: &Request, state: &AppState) -> Response {
                 ]),
             )
         }
+        ("GET", ["metrics"]) => Response {
+            status: 200,
+            content_type: xtsim_obs::prom::CONTENT_TYPE,
+            body: xtsim_obs::prom::render_global().into_bytes(),
+        },
         ("GET", ["dashboard"]) => {
             let records = state.registry.as_ref().map(|r| r.replay().records).unwrap_or_default();
             let bench = dashboard::collect_bench_files(&state.bench_root);
@@ -327,11 +403,13 @@ pub fn handle(req: &Request, state: &AppState) -> Response {
                 .as_ref()
                 .and_then(|dir| DiskCache::new(dir).ok())
                 .map(|c| c.stats());
+            let telemetry = xtsim_obs::snapshot();
             let html = dashboard::render(
                 &records,
                 &bench,
                 cache.as_ref(),
                 Some(&state.scheduler.stats()),
+                Some(&telemetry),
             );
             Response::html(html)
         }
@@ -363,7 +441,7 @@ mod tests {
     use std::collections::BTreeMap as Map;
 
     fn stub_state() -> AppState {
-        let exec: Executor = Arc::new(|_id, req: &RunRequest| {
+        let exec: Executor = Arc::new(|_id, req: &RunRequest, _wait: f64| {
             Ok(RunOutput {
                 result_json: format!("{{\n  \"id\": \"{}\"\n}}", req.figure),
                 wall_secs: 0.01,
@@ -432,6 +510,9 @@ mod tests {
         assert_eq!(field(&env, "jobs").as_i64(), Some(2));
         assert_eq!(field(&env, "des_threads").as_i64(), Some(1));
         assert_eq!(field(&env, "scale").as_str(), Some("quick"));
+        // Queue timing surfaces on the envelope once the run has run.
+        assert!(field(&env, "wait_secs").as_f64().unwrap() >= 0.0);
+        assert!(field(&env, "exec_secs").as_f64().unwrap() >= 0.0);
 
         // The result endpoint returns the executor's bytes verbatim.
         let resp = handle(&get(&format!("/runs/{id}/result")), &state);
@@ -504,5 +585,33 @@ mod tests {
         let resp = handle(&get("/dashboard"), &state);
         assert_eq!(resp.status, 200);
         assert!(std::str::from_utf8(&resp.body).unwrap().contains("<h1>"));
+    }
+
+    #[test]
+    fn metrics_endpoint_exposes_http_and_queue_series() {
+        let state = stub_state();
+        // Drive one full run so queue histograms have observations, then a
+        // known-404 so the 4xx class exists.
+        let resp = handle(&post("/runs", "{\"figure\": \"fig02\"}"), &state);
+        let id = field(&body_json(&resp), "id").as_i64().unwrap() as u64;
+        wait_done(&state, id);
+        let _ = handle(&get("/runs/999999"), &state);
+
+        let resp = handle(&get("/metrics"), &state);
+        assert_eq!(resp.status, 200);
+        assert!(resp.content_type.starts_with("text/plain"));
+        let text = std::str::from_utf8(&resp.body).unwrap();
+        assert!(text.contains("# TYPE xtsim_http_requests_total counter"));
+        assert!(text.contains("# TYPE xtsim_queue_wait_seconds histogram"));
+        assert!(text.contains("# TYPE xtsim_queue_service_seconds histogram"));
+        assert!(
+            text.contains("route=\"POST /runs\""),
+            "per-route series missing: {text}"
+        );
+        assert!(text.contains("route=\"GET /runs/:id\""), "path params must normalize");
+        assert!(text.contains("status=\"4xx\""));
+        // Histogram invariants hold in the served bytes.
+        assert!(text.contains("xtsim_queue_wait_seconds_bucket{le=\"+Inf\"}"));
+        assert!(text.contains("xtsim_queue_wait_seconds_count"));
     }
 }

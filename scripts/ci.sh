@@ -95,7 +95,7 @@ if cargo run --release -p xtsim-bench --bin figures -- \
     echo "figures --only figZZ must exit nonzero"; exit 1
 fi
 
-echo "== xtsim-serve smoke (submit, poll, byte-diff vs CLI, stats shape) =="
+echo "== xtsim-serve smoke (submit, poll, byte-diff vs CLI, stats, /metrics) =="
 out="$(mktemp -d)"
 # CLI artifact first (its own cache), then the service computes the same
 # figure cold in a separate cache and again warm — all three byte-identical.
@@ -104,7 +104,7 @@ cargo run --release -p xtsim-bench --bin figures -- \
 cargo build --release -p xtsim-serve
 target/release/xtsim-serve --port 0 --cache-dir "$out/serve-cache" \
     --registry-dir "$out/registry" --max-concurrent 1 --jobs 2 \
-    --bench-root . >"$out/serve.log" 2>&1 &
+    --bench-root . --events "$out/events.jsonl" >"$out/serve.log" 2>&1 &
 serve_pid=$!
 trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
 port=""
@@ -156,26 +156,73 @@ env, warm = run_to_completion({"figure": "fig02", "scale": "quick", "jobs": 2})
 assert env["cached"] > 0, f"second run did not hit the cache: {env}"
 open(f"{out}/serve_warm.json", "wb").write(warm)
 
+# A PDES-aware figure (fig24 shards its worlds even at one DES thread)
+# exercises the partitioned engine so the epoch counter shows up in the
+# /metrics scrape below.
+env, _ = run_to_completion({"figure": "fig24", "scale": "quick", "jobs": 2, "des_threads": 2})
+
 # /stats keeps the documented shape.
 stats = json.loads(req("GET", "/stats")[1])
 assert stats["schema"] == "xtsim-serve-stats-v1", stats
 assert stats["engine_version"] >= 1
 for k in ("queued", "running", "done", "failed", "rejected", "capacity", "workers"):
     assert k in stats["queue"], f"queue stats missing {k}"
-assert stats["queue"]["done"] >= 2
+assert stats["queue"]["done"] >= 3
 assert stats["cache"]["entries"] > 0
-assert stats["registry"]["records"] >= 2
+assert stats["registry"]["records"] >= 3
 assert stats["registry"]["skipped"] == 0
 
 # The registry replays every completed run; the dashboard renders SVG.
 reg = json.loads(req("GET", "/registry")[1])
-assert len(reg["records"]) >= 2
+assert len(reg["records"]) >= 3
 rec = reg["records"][-1]
-assert rec["schema"] == "xtsim-registry-v1" and rec["figure"] == "fig02"
+assert rec["schema"] == "xtsim-registry-v1" and rec["figure"] == "fig24"
 assert rec["outcome"] == "done" and rec["wall_secs"] > 0
 assert rec["params"]["scale"] == "quick"
+# Queue timing rides along on every new record and the run envelope.
+assert rec["wait_secs"] >= 0 and rec["exec_secs"] > 0, rec
+assert env["wait_secs"] >= 0 and env["exec_secs"] > 0, env
 code, dash = req("GET", "/dashboard")
 assert code == 200 and b"<svg" in dash, "dashboard missing inline SVG"
+assert b"Telemetry" in dash, "dashboard missing telemetry panel"
+
+# /metrics serves valid Prometheus text exposition after the cold+warm
+# runs: every sample line parses, each series has TYPE metadata, the
+# cache-hit counter reflects the warm run, and the queue-wait histogram
+# observed both runs.
+code, body = req("GET", "/metrics")
+assert code == 200, f"/metrics: {code}"
+text = body.decode()
+types, samples = {}, {}
+for line in text.splitlines():
+    if line.startswith("# TYPE "):
+        _, _, name, kind = line.split(" ", 3)
+        types[name] = kind
+        continue
+    if line.startswith("#") or not line.strip():
+        continue
+    name_part, _, value = line.rpartition(" ")
+    name = name_part.split("{", 1)[0]
+    float(value)  # every sample value must parse
+    base = name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+    assert base in types, f"sample {name} has no # TYPE metadata"
+    samples[name_part] = float(value)
+assert types.get("xtsim_cache_lookups_total") == "counter", types
+assert types.get("xtsim_queue_wait_seconds") == "histogram", types
+assert types.get("xtsim_http_requests_total") == "counter", types
+assert types.get("xtsim_pdes_epochs_total") == "counter", types
+assert samples.get("xtsim_pdes_epochs_total", 0) > 0, "no PDES epochs recorded"
+hits = sum(v for k, v in samples.items()
+           if k.startswith("xtsim_cache_lookups_total") and 'result="hit"' in k)
+assert hits > 0, "warm run did not register a cache hit in /metrics"
+waits = samples.get("xtsim_queue_wait_seconds_count", 0)
+assert waits >= 3, f"queue wait histogram saw {waits} runs, expected >= 3"
+infs = [v for k, v in samples.items()
+        if k.startswith("xtsim_queue_wait_seconds_bucket") and 'le="+Inf"' in k]
+assert infs and infs[0] == waits, "queue wait +Inf bucket != _count"
 EOF
 # Byte-identity with the CLI artifact, cold and warm.
 diff "$out/cli/fig02.json" "$out/serve_cold.json" || {
@@ -186,6 +233,16 @@ diff "$out/cli/fig02.json" "$out/serve_warm.json" || {
 }
 kill "$serve_pid" 2>/dev/null || true
 trap - EXIT
+# The --events JSONL sink exists and every line is a schema-tagged record
+# (a clean smoke may legitimately log nothing; format still must hold).
+test -e "$out/events.jsonl" || { echo "--events did not create the sink"; exit 1; }
+python3 - "$out/events.jsonl" <<'EOF'
+import json, sys
+for line in open(sys.argv[1]):
+    rec = json.loads(line)
+    assert rec["schema"] == "xtsim-events-v1", rec
+    assert {"ts_unix", "level", "target", "message"} <= rec.keys(), rec
+EOF
 # One-shot dashboard mode renders from the registry alone.
 target/release/xtsim-serve --registry-dir "$out/registry" --bench-root . \
     --dashboard "$out/dash" >/dev/null

@@ -3,6 +3,8 @@
 //! These guard the harness against performance regressions (a full figure
 //! run schedules tens of millions of events).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use xtsim::des::{FluidPool, LinkId, Sim, SimDuration};
@@ -209,6 +211,142 @@ fn bench_pdes_alltoall(c: &mut Criterion) {
     g.finish();
 }
 
+// ------------------------------------------------------------------- cache
+
+/// A synthetic figure spec exercising the cache path: `n_jobs` jobs whose
+/// closures are trivially cheap and whose outputs carry a payload of
+/// `floats` numbers each, so a run's cost is dominated by cache machinery
+/// (lookup, verification, parse/serialize, store) — exactly what this
+/// group measures.
+fn cache_spec(n_jobs: usize, floats: usize) -> xtsim::sweep::FigureSpec {
+    use xtsim::report::{FigureResult, Scale, Series};
+    use xtsim::sweep::{num, obj, FigureSpec, JobKey};
+    let mut spec = FigureSpec::new("bench-cache", move |outs| {
+        let mut s = Series::new("sum");
+        for (i, o) in outs.iter().enumerate() {
+            s.push(i as f64, num(o, "sum"));
+        }
+        FigureResult::new("bench-cache", "cache bench").with_series(s)
+    });
+    for i in 0..n_jobs {
+        let key = JobKey::new("bench-cache", None, None, Scale::Quick).with("i", i as i64);
+        spec.push_job(key, move || {
+            let payload: Vec<serde::Value> = (0..floats)
+                .map(|k| serde::Value::Float((i * floats + k) as f64 * 0.5))
+                .collect();
+            obj(vec![
+                ("sum", (((i * floats) as f64) * 0.5).into()),
+                ("payload", serde::Value::Array(payload)),
+            ])
+        });
+    }
+    spec
+}
+
+/// Two-tier cache path costs: cold miss (compute + store), warm disk hit
+/// (read + parse + verify, hot tier off), warm memory hit (shard lookup +
+/// verify only), and an 8-thread concurrent mixed load/store. The
+/// acceptance gate for the hot tier is `warm_memory_hit` at least 2x
+/// faster than `warm_disk_hit` — checked by `scripts/ci.sh` against the
+/// medians this group prints.
+fn bench_cache(c: &mut Criterion) {
+    use xtsim::sweep::{run_figure, DiskCache, SweepConfig};
+    static UNIQ: AtomicU64 = AtomicU64::new(0);
+    let (n_jobs, floats) = if quick() { (32, 128) } else { (128, 128) };
+    let root = std::env::temp_dir().join(format!("xtsim-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut g = c.benchmark_group("cache");
+    g.sample_size(10);
+
+    // Cold: every iteration gets a fresh directory (and, because hot tiers
+    // are registered per directory, a fresh empty memory tier): all misses,
+    // compute + store both tiers.
+    g.bench_function("cold_miss", |b| {
+        b.iter(|| {
+            let dir = root.join(format!("cold-{}", UNIQ.fetch_add(1, Ordering::Relaxed)));
+            let cfg = SweepConfig::serial()
+                .with_cache(DiskCache::with_mem_cap(&dir, 64 * 1024 * 1024).unwrap());
+            run_figure(cache_spec(n_jobs, floats), &cfg).0
+        });
+    });
+
+    // Warm disk: entries on disk, hot tier disabled (cap 0) — every lookup
+    // reads and parses the entry file. The cache handle is built once
+    // outside the timed loop so open-time work (migration scan, tmp sweep)
+    // doesn't dilute the lookup cost being measured.
+    let disk_dir = root.join("warm-disk");
+    {
+        let cfg = SweepConfig::serial()
+            .with_cache(DiskCache::with_mem_cap(&disk_dir, 0).unwrap());
+        run_figure(cache_spec(n_jobs, floats), &cfg); // populate
+    }
+    let disk_cfg =
+        SweepConfig::serial().with_cache(DiskCache::with_mem_cap(&disk_dir, 0).unwrap());
+    g.bench_function("warm_disk_hit", |b| {
+        b.iter(|| run_figure(cache_spec(n_jobs, floats), &disk_cfg).0);
+    });
+
+    // Warm memory: same corpus, hot tier enabled and pre-promoted — every
+    // lookup is a shard probe + key comparison, no filesystem or parse.
+    let mem_dir = root.join("warm-mem");
+    {
+        let cfg = SweepConfig::serial()
+            .with_cache(DiskCache::with_mem_cap(&mem_dir, 64 * 1024 * 1024).unwrap());
+        run_figure(cache_spec(n_jobs, floats), &cfg); // populate + promote
+    }
+    let mem_cfg = SweepConfig::serial()
+        .with_cache(DiskCache::with_mem_cap(&mem_dir, 64 * 1024 * 1024).unwrap());
+    g.bench_function("warm_memory_hit", |b| {
+        b.iter(|| run_figure(cache_spec(n_jobs, floats), &mem_cfg).0);
+    });
+
+    // 8 threads hammering one shared cache with a 3:1 load:store mix across
+    // all shards: the shard-contention figure for concurrent serve traffic.
+    let mixed_dir = root.join("mixed");
+    let mixed = DiskCache::with_mem_cap(&mixed_dir, 64 * 1024 * 1024).unwrap();
+    let keys: Vec<xtsim::sweep::PreparedKey> = {
+        use xtsim::report::Scale;
+        use xtsim::sweep::JobKey;
+        (0..n_jobs)
+            .map(|i| {
+                JobKey::new("bench-cache-mixed", None, None, Scale::Quick)
+                    .with("i", i as i64)
+                    .prepare()
+            })
+            .collect()
+    };
+    let payload = xtsim::sweep::obj(vec![(
+        "payload",
+        serde::Value::Array((0..floats).map(|k| serde::Value::Float(k as f64)).collect()),
+    )]);
+    for k in &keys {
+        mixed.store(k, &payload).unwrap();
+    }
+    g.bench_function("concurrent_mixed_8t", |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for t in 0..8usize {
+                    let mixed = &mixed;
+                    let keys = &keys;
+                    let payload = &payload;
+                    s.spawn(move || {
+                        for round in 0..64usize {
+                            let i = (t * 31 + round * 7) % keys.len();
+                            if round % 4 == 0 {
+                                mixed.store(&keys[i], payload).unwrap();
+                            } else {
+                                std::hint::black_box(mixed.load(&keys[i]));
+                            }
+                        }
+                    });
+                }
+            });
+        });
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 criterion_group!(
     simulator,
     bench_event_loop,
@@ -217,6 +355,7 @@ criterion_group!(
     bench_figure_quick,
     bench_fluid_pool,
     bench_alltoall_fluid,
-    bench_pdes_alltoall
+    bench_pdes_alltoall,
+    bench_cache
 );
 criterion_main!(simulator);

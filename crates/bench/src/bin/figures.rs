@@ -4,7 +4,8 @@
 //! ```text
 //! figures [--full|--quick|--scale quick|full] [--only ID[,ID...]] [--all]
 //!         [--ablations] [--jobs N] [--des-threads N] [--no-cache]
-//!         [--cache-dir DIR] [--out DIR] [--trace DIR] [--metrics FILE]
+//!         [--cache-dir DIR] [--cache-mem-cap BYTES] [--out DIR]
+//!         [--trace DIR] [--metrics FILE]
 //! ```
 //!
 //! Default scale is `--quick` (reduced sweeps, seconds per figure); `--full`
@@ -14,8 +15,10 @@
 //! cached engine (`xtsim::sweep`): `--jobs N` runs N worker threads (default:
 //! available parallelism), and results are cached content-addressed under
 //! `results/cache/` (override with `--cache-dir`, disable with `--no-cache`)
-//! so a rerun only recomputes what changed. Output is byte-identical for any
-//! `--jobs` value, warm or cold.
+//! so a rerun only recomputes what changed. The cache is two-tier: a sharded
+//! in-memory LRU hot tier (budget `--cache-mem-cap`, sizes like `64m`/`512k`,
+//! `0` disables; default 64 MiB) over the on-disk store. Output is
+//! byte-identical for any `--jobs` value, warm or cold, whatever the cap.
 //!
 //! Results are printed and also written to `DIR` (default `results/`) as
 //! `<id>.csv` and `<id>.json`.
@@ -36,10 +39,10 @@ use std::io::Write;
 use std::path::PathBuf;
 
 use xtsim::ablations::all_ablations;
-use xtsim::cli::{des_threads_from_env, parse_scale, select_figures};
+use xtsim::cli::{des_threads_from_env, parse_byte_size, parse_positive, parse_scale, select_figures};
 use xtsim::figures::{all_figures, Figure};
 use xtsim::report::Scale;
-use xtsim::sweep::{run_figure, DiskCache, FigureMetrics, SweepConfig};
+use xtsim::sweep::{run_figure, DiskCache, FigureMetrics, SweepConfig, DEFAULT_MEM_CAP};
 
 struct Args {
     scale: Scale,
@@ -49,6 +52,7 @@ struct Args {
     jobs: usize,
     cache: bool,
     cache_dir: PathBuf,
+    cache_mem_cap: u64,
     trace_dir: Option<PathBuf>,
     metrics: Option<PathBuf>,
     des_threads: usize,
@@ -67,11 +71,24 @@ fn parse_args() -> Args {
         jobs: default_jobs(),
         cache: true,
         cache_dir: DiskCache::default_dir(),
+        cache_mem_cap: DEFAULT_MEM_CAP,
         trace_dir: None,
         metrics: None,
         des_threads: des_threads_from_env(),
     };
     let mut it = std::env::args().skip(1);
+    // Numeric flags share xtsim::cli validation with xtsim-serve: a bad
+    // token exits 2 and names itself (never a panic).
+    let positive = |flag: &str, v: Option<String>| -> usize {
+        let v = v.unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        });
+        parse_positive(flag, &v).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
             "--full" => args.scale = Scale::Full,
@@ -95,23 +112,22 @@ fn parse_args() -> Args {
                 args.only = Some(ids.split(',').map(|s| s.trim().to_string()).collect());
             }
             "--out" => args.out = PathBuf::from(it.next().expect("--out needs a directory")),
-            "--jobs" => {
-                args.jobs = it
-                    .next()
-                    .and_then(|n| n.parse().ok())
-                    .filter(|&n: &usize| n >= 1)
-                    .expect("--jobs needs a positive integer");
-            }
-            "--des-threads" => {
-                args.des_threads = it
-                    .next()
-                    .and_then(|n| n.parse().ok())
-                    .filter(|&n: &usize| n >= 1)
-                    .expect("--des-threads needs a positive integer");
-            }
+            "--jobs" => args.jobs = positive("--jobs", it.next()),
+            "--des-threads" => args.des_threads = positive("--des-threads", it.next()),
             "--no-cache" => args.cache = false,
             "--cache-dir" => {
                 args.cache_dir = PathBuf::from(it.next().expect("--cache-dir needs a directory"));
+            }
+            "--cache-mem-cap" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--cache-mem-cap needs a byte size (like 64m, 512k or 0)");
+                    std::process::exit(2);
+                });
+                args.cache_mem_cap =
+                    parse_byte_size("--cache-mem-cap", &v).unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    });
             }
             "--trace" => {
                 args.trace_dir = Some(PathBuf::from(it.next().expect("--trace needs a directory")));
@@ -123,7 +139,8 @@ fn parse_args() -> Args {
                 println!(
                     "usage: figures [--full|--quick|--scale quick|full] [--only ID[,ID...]] [--all]\n\
                      \x20              [--ablations] [--jobs N] [--des-threads N] [--no-cache]\n\
-                     \x20              [--cache-dir DIR] [--out DIR] [--trace DIR] [--metrics FILE]"
+                     \x20              [--cache-dir DIR] [--cache-mem-cap BYTES] [--out DIR]\n\
+                     \x20              [--trace DIR] [--metrics FILE]"
                 );
                 std::process::exit(0);
             }
@@ -139,7 +156,7 @@ fn parse_args() -> Args {
 fn make_config(args: &Args) -> SweepConfig {
     let mut cfg = SweepConfig::threads(args.jobs);
     if args.cache {
-        match DiskCache::new(&args.cache_dir) {
+        match DiskCache::with_mem_cap(&args.cache_dir, args.cache_mem_cap) {
             Ok(cache) => cfg = cfg.with_cache(cache),
             Err(e) => eprintln!(
                 "warning: cannot open cache at {}: {e}; running uncached",

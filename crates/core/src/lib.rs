@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod cache;
 pub mod cli;
 pub mod figures;
 pub mod report;

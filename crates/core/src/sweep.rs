@@ -12,27 +12,33 @@
 //! world* inside its closure, so nothing non-`Send` ever crosses a thread
 //! boundary; only plain spec data goes in and a JSON [`Value`] comes out.
 //!
-//! Cache layout: one file per job under the cache directory,
-//! `<32-hex-digest>.json`, holding `{"key": ..., "value": ...}`. The digest
-//! hashes the canonical JSON of the key — engine version, job kind, machine
-//! spec content, execution mode, scale, and all sweep parameters — via two
-//! independent FNV-1a passes ([`xtsim_machine::fingerprint`]). Bump
+//! Caching: results live in the two-tier [`DiskCache`] (see
+//! [`crate::cache`]) — a sharded in-memory LRU hot tier over one
+//! `{"key": ..., "value": ...}` JSON file per job in two-hex-prefix
+//! subdirectories. The digest hashes the canonical JSON of the key — engine
+//! version, job kind, machine spec content, execution mode, scale, and all
+//! sweep parameters — via two independent FNV-1a passes
+//! ([`xtsim_machine::fingerprint`]); the engine serializes each key **once**
+//! into a [`PreparedKey`] and threads it through lookup and store. Bump
 //! [`ENGINE_VERSION`] whenever simulator semantics change; every old entry
 //! then misses.
 
 use std::cell::Cell;
 use std::collections::BTreeMap;
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use serde::{impl_serde_struct, Value};
 use xtsim_des::trace::{self, TraceData, TraceSummary};
-use xtsim_machine::fingerprint::hex_digest;
 use xtsim_machine::{ExecMode, MachineSpec};
 
 use crate::report::{FigureResult, Scale};
+
+pub use crate::cache::{
+    CacheLookup, CacheStats, DiskCache, PreparedKey, DEFAULT_MEM_CAP, MEM_SHARDS,
+};
 
 /// Version of the simulation engine folded into every cache key. Bump on any
 /// change that alters simulated numbers so stale cache entries stop hitting.
@@ -88,13 +94,21 @@ impl JobKey {
         self
     }
 
-    /// 128-bit hex digest of the canonical JSON encoding of this key.
-    /// Canonical means: object keys sorted, integral floats rendered `x.0` —
-    /// so the digest is independent of field declaration order and stable
-    /// across processes.
-    pub fn digest(&self) -> String {
+    /// Serialize this key once into its canonical JSON encoding plus the
+    /// 128-bit hex digest derived from it. Canonical means: object keys
+    /// sorted, integral floats rendered `x.0` — so the digest is independent
+    /// of field declaration order and stable across processes. The engine
+    /// prepares every job key exactly once per run and threads the result
+    /// through both cache tiers.
+    pub fn prepare(&self) -> PreparedKey {
         let json = serde_json::to_string(self).expect("JobKey serializes");
-        hex_digest(&json)
+        PreparedKey::from_canonical_json(json)
+    }
+
+    /// 128-bit hex digest of the canonical JSON encoding of this key
+    /// (convenience wrapper over [`JobKey::prepare`]).
+    pub fn digest(&self) -> String {
+        self.prepare().digest
     }
 }
 
@@ -149,251 +163,6 @@ impl FigureSpec {
         self.jobs.push(Job::new(key, run));
         self.jobs.len() - 1
     }
-}
-
-/// Outcome of a verified cache lookup ([`DiskCache::load`]).
-#[derive(Debug, Clone)]
-pub enum CacheLookup {
-    /// Entry present and its embedded key matches the requesting [`JobKey`].
-    Hit(Value),
-    /// No entry on disk (or an unreadable/corrupt file).
-    Miss,
-    /// Entry present but recorded under a *different* key — a digest
-    /// collision or a corrupted/foreign entry. Must be recomputed.
-    KeyMismatch,
-}
-
-/// Aggregate on-disk state of a [`DiskCache`], for `/stats`-style reporting.
-#[derive(Debug, Clone, Default)]
-pub struct CacheStats {
-    /// Committed entries (`<digest>.json` files).
-    pub entries: u64,
-    /// Total bytes across committed entries.
-    pub bytes: u64,
-    /// In-flight or leaked temp files (`.<digest>.<pid>.<seq>.tmp`).
-    pub tmp_files: u64,
-}
-
-impl_serde_struct!(CacheStats { entries, bytes, tmp_files });
-
-/// Temp files older than this are presumed leaked by a crashed writer and
-/// are reclaimed on [`DiskCache::new`], even when pid liveness can't be
-/// probed. A live store-then-rename window is microseconds; an hour is far
-/// outside any legitimate in-flight write.
-const STALE_TMP_MAX_AGE: Duration = Duration::from_secs(3600);
-
-/// Process-wide cache telemetry handles, registered once. Pure observation:
-/// counters and wall-clock latency never influence lookup results, job
-/// keys, or figure bytes.
-struct CacheMetrics {
-    hits: std::sync::Arc<xtsim_obs::Counter>,
-    misses: std::sync::Arc<xtsim_obs::Counter>,
-    key_mismatches: std::sync::Arc<xtsim_obs::Counter>,
-    stores: std::sync::Arc<xtsim_obs::Counter>,
-    store_bytes: std::sync::Arc<xtsim_obs::Counter>,
-    lookup_seconds: std::sync::Arc<xtsim_obs::Histogram>,
-}
-
-fn cache_metrics() -> &'static CacheMetrics {
-    static M: std::sync::OnceLock<CacheMetrics> = std::sync::OnceLock::new();
-    M.get_or_init(|| {
-        let lookups = "xtsim_cache_lookups_total";
-        let lookups_help = "DiskCache lookups by verified outcome.";
-        CacheMetrics {
-            hits: xtsim_obs::counter_with(lookups, lookups_help, &[("result", "hit")]),
-            misses: xtsim_obs::counter_with(lookups, lookups_help, &[("result", "miss")]),
-            key_mismatches: xtsim_obs::counter_with(
-                lookups,
-                lookups_help,
-                &[("result", "key_mismatch")],
-            ),
-            stores: xtsim_obs::counter(
-                "xtsim_cache_stores_total",
-                "Cache entries committed to disk.",
-            ),
-            store_bytes: xtsim_obs::counter(
-                "xtsim_cache_store_bytes_total",
-                "Serialized bytes written into committed cache entries.",
-            ),
-            lookup_seconds: xtsim_obs::histogram(
-                "xtsim_cache_lookup_seconds",
-                "Wall-clock latency of DiskCache::load (read + verify).",
-            ),
-        }
-    })
-}
-
-/// On-disk content-addressed job cache (one JSON file per digest).
-pub struct DiskCache {
-    dir: PathBuf,
-}
-
-impl DiskCache {
-    /// Open (creating if needed) a cache rooted at `dir`. Temp files leaked
-    /// by writers that died between write and rename are swept here — see
-    /// [`DiskCache::sweep_stale_tmp`].
-    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<DiskCache> {
-        let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
-        let cache = DiskCache { dir };
-        cache.sweep_stale_tmp(STALE_TMP_MAX_AGE);
-        Ok(cache)
-    }
-
-    /// The conventional cache location used by the `figures` binary.
-    pub fn default_dir() -> PathBuf {
-        PathBuf::from("results/cache")
-    }
-
-    /// Cache directory path.
-    pub fn dir(&self) -> &Path {
-        &self.dir
-    }
-
-    fn path_for(&self, digest: &str) -> PathBuf {
-        self.dir.join(format!("{digest}.json"))
-    }
-
-    /// Load and *verify* the cached entry for `digest`: the entry's embedded
-    /// key must canonically match the requesting `key`. A digest collision, a
-    /// foreign entry, or an entry missing its key is a [`CacheLookup::KeyMismatch`]
-    /// — callers must recompute, exactly as for a plain miss.
-    pub fn load(&self, digest: &str, key: &JobKey) -> CacheLookup {
-        let sw = xtsim_obs::Stopwatch::start();
-        let out = self.load_unverified_timing(digest, key);
-        let m = cache_metrics();
-        m.lookup_seconds.observe_since(&sw);
-        match out {
-            CacheLookup::Hit(_) => m.hits.inc(),
-            CacheLookup::Miss => m.misses.inc(),
-            CacheLookup::KeyMismatch => m.key_mismatches.inc(),
-        }
-        out
-    }
-
-    fn load_unverified_timing(&self, digest: &str, key: &JobKey) -> CacheLookup {
-        let Ok(text) = std::fs::read_to_string(self.path_for(digest)) else {
-            return CacheLookup::Miss;
-        };
-        let Ok(entry) = serde_json::from_str::<Value>(&text) else {
-            return CacheLookup::Miss; // corrupt file: plain miss
-        };
-        let Some(obj) = entry.as_object() else {
-            return CacheLookup::Miss;
-        };
-        let expected = serde_json::to_string(key).expect("JobKey serializes");
-        let stored = obj.get("key").map(|k| serde_json::to_string(k).expect("Value serializes"));
-        if stored.as_deref() != Some(expected.as_str()) {
-            return CacheLookup::KeyMismatch;
-        }
-        match obj.get("value") {
-            Some(v) => CacheLookup::Hit(v.clone()),
-            None => CacheLookup::Miss,
-        }
-    }
-
-    /// Store `value` (with its `key`, for load-time verification) under
-    /// `digest`. Writes to a temp file unique to this process *and* store
-    /// call, then renames, so concurrent writers — even across processes
-    /// sharing the cache directory — never tear each other's entries.
-    pub fn store(&self, digest: &str, key: &JobKey, value: &Value) -> std::io::Result<()> {
-        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
-        let mut entry = std::collections::BTreeMap::new();
-        entry.insert("key".to_string(), serde_json::to_value(key).expect("key serializes"));
-        entry.insert("value".to_string(), value.clone());
-        let text = serde_json::to_string_pretty(&Value::Object(entry)).expect("entry serializes");
-        let tmp = self.dir.join(format!(
-            ".{digest}.{}.{}.tmp",
-            std::process::id(),
-            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
-        let bytes = text.len() as u64;
-        std::fs::write(&tmp, text)?;
-        std::fs::rename(&tmp, self.path_for(digest))?;
-        let m = cache_metrics();
-        m.stores.inc();
-        m.store_bytes.add(bytes);
-        Ok(())
-    }
-
-    /// Remove leaked temp files. A writer crashing between `fs::write` and
-    /// `fs::rename` in [`DiskCache::store`] strands its
-    /// `.<digest>.<pid>.<seq>.tmp` file forever — nothing else ever touches
-    /// that name again. A temp file is reclaimed when its recorded pid is
-    /// provably dead (`/proc/<pid>` absent on systems that have `/proc`) or
-    /// its mtime is older than `max_age`; fresh files from live writers are
-    /// left alone. Returns the number of files removed.
-    pub fn sweep_stale_tmp(&self, max_age: Duration) -> usize {
-        let Ok(rd) = std::fs::read_dir(&self.dir) else {
-            return 0;
-        };
-        let now = std::time::SystemTime::now();
-        let mut removed = 0;
-        for entry in rd.filter_map(Result::ok) {
-            let name = entry.file_name().to_string_lossy().into_owned();
-            if !(name.starts_with('.') && name.ends_with(".tmp")) {
-                continue;
-            }
-            let dead_writer = tmp_writer_pid(&name).is_some_and(pid_provably_dead);
-            let expired = entry
-                .metadata()
-                .and_then(|m| m.modified())
-                .ok()
-                .and_then(|t| now.duration_since(t).ok())
-                .is_some_and(|age| age >= max_age);
-            if (dead_writer || expired) && std::fs::remove_file(entry.path()).is_ok() {
-                removed += 1;
-            }
-        }
-        removed
-    }
-
-    /// Aggregate on-disk state: entry count, byte total, temp files.
-    pub fn stats(&self) -> CacheStats {
-        let mut stats = CacheStats::default();
-        let Ok(rd) = std::fs::read_dir(&self.dir) else {
-            return stats;
-        };
-        for entry in rd.filter_map(Result::ok) {
-            let path = entry.path();
-            let name = entry.file_name().to_string_lossy().into_owned();
-            if path.extension().is_some_and(|x| x == "json") {
-                stats.entries += 1;
-                stats.bytes += entry.metadata().map(|m| m.len()).unwrap_or(0);
-            } else if name.starts_with('.') && name.ends_with(".tmp") {
-                stats.tmp_files += 1;
-            }
-        }
-        stats
-    }
-
-    /// Number of entries on disk.
-    pub fn len(&self) -> usize {
-        std::fs::read_dir(&self.dir)
-            .map(|rd| {
-                rd.filter_map(Result::ok)
-                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
-                    .count()
-            })
-            .unwrap_or(0)
-    }
-
-    /// True when the cache holds no entries.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
-
-/// Writer pid recorded in a `.<digest>.<pid>.<seq>.tmp` file name.
-fn tmp_writer_pid(name: &str) -> Option<u32> {
-    name.strip_suffix(".tmp")?.rsplit('.').nth(1)?.parse().ok()
-}
-
-/// True only when the platform lets us *prove* the pid is gone (`/proc`
-/// exists but `/proc/<pid>` doesn't). Elsewhere the age rule alone decides,
-/// so a live writer's fresh temp file is never yanked out from under it.
-fn pid_provably_dead(pid: u32) -> bool {
-    Path::new("/proc").is_dir() && !Path::new(&format!("/proc/{pid}")).exists()
 }
 
 /// Engine configuration for one figure run.
@@ -578,14 +347,17 @@ type JobOutcome = (Value, Option<TraceData>);
 pub fn run_figure(spec: FigureSpec, cfg: &SweepConfig) -> (FigureResult, RunStats) {
     let t0 = Instant::now();
     let n = spec.jobs.len();
-    let digests: Vec<String> = spec.jobs.iter().map(|j| j.key.digest()).collect();
+    // Serialize every key exactly once; both cache tiers address by the
+    // prepared digest and verify against the prepared canonical JSON.
+    let keys: Vec<PreparedKey> = spec.jobs.iter().map(|j| j.key.prepare()).collect();
+    let digests: Vec<&str> = keys.iter().map(|k| k.digest.as_str()).collect();
 
     // Slot per job; verified cache hits fill immediately, misses queue up.
     let mut slots: Vec<Option<Value>> = (0..n).map(|_| None).collect();
     let mut pending: Vec<usize> = Vec::new();
     let mut key_mismatches = 0usize;
     for i in 0..n {
-        match cfg.cache.as_ref().map(|c| c.load(&digests[i], &spec.jobs[i].key)) {
+        match cfg.cache.as_ref().map(|c| c.load(&keys[i])) {
             Some(CacheLookup::Hit(v)) => slots[i] = Some(v),
             Some(CacheLookup::KeyMismatch) => {
                 key_mismatches += 1;
@@ -597,7 +369,7 @@ pub fn run_figure(spec: FigureSpec, cfg: &SweepConfig) -> (FigureResult, RunStat
                     ),
                     &[
                         ("figure", spec.id),
-                        ("digest", &digests[i]),
+                        ("digest", digests[i]),
                         ("job_index", &i.to_string()),
                         ("kind", &spec.jobs[i].key.kind),
                     ],
@@ -684,7 +456,7 @@ pub fn run_figure(spec: FigureSpec, cfg: &SweepConfig) -> (FigureResult, RunStat
                 m.jobs.push(JobMetrics {
                     index: i as u64,
                     kind: spec.jobs[i].key.kind.clone(),
-                    digest: digests[i].clone(),
+                    digest: digests[i].to_string(),
                     cached: true,
                     trace: None,
                 });
@@ -699,7 +471,7 @@ pub fn run_figure(spec: FigureSpec, cfg: &SweepConfig) -> (FigureResult, RunStat
         let (v, trace_data) = slot.lock().unwrap().take().expect("worker filled every slot");
         if let Some(cache) = &cfg.cache {
             // Cache write failure is not a figure failure; drop the entry.
-            let _ = cache.store(&digests[i], &spec.jobs[i].key, &v);
+            let _ = cache.store(&keys[i], &v);
         }
         if let Some(m) = metrics.as_mut() {
             let td = trace_data.unwrap_or_default();
@@ -709,7 +481,7 @@ pub fn run_figure(spec: FigureSpec, cfg: &SweepConfig) -> (FigureResult, RunStat
                     ("figure", Value::Str(spec.id.to_string())),
                     ("jobIndex", Value::Int(i as i64)),
                     ("kind", Value::Str(spec.jobs[i].key.kind.clone())),
-                    ("digest", Value::Str(digests[i].clone())),
+                    ("digest", Value::Str(digests[i].to_string())),
                 ]);
                 match std::fs::write(dir.join(&fname), json) {
                     Ok(()) => m.trace_files.push(fname),
@@ -733,7 +505,7 @@ pub fn run_figure(spec: FigureSpec, cfg: &SweepConfig) -> (FigureResult, RunStat
             m.jobs.push(JobMetrics {
                 index: i as u64,
                 kind: spec.jobs[i].key.kind.clone(),
-                digest: digests[i].clone(),
+                digest: digests[i].to_string(),
                 cached: false,
                 trace: Some(s),
             });
@@ -842,12 +614,16 @@ mod tests {
         let cache = DiskCache::new(&dir).unwrap();
         // Poison job 0's digest slot with an entry recorded under a
         // *different* key (as a digest collision or corruption would).
-        let key0 = JobKey::new("tiny", None, None, Scale::Quick).with("i", 0u32);
-        let foreign = JobKey::new("tiny", None, None, Scale::Quick).with("i", 7u32);
-        let digest0 = key0.digest();
-        cache.store(&digest0, &foreign, &obj(vec![("y", 999.0.into())])).unwrap();
-        assert!(matches!(cache.load(&digest0, &key0), CacheLookup::KeyMismatch));
-        assert!(matches!(cache.load(&digest0, &foreign), CacheLookup::Hit(_)));
+        let key0 = JobKey::new("tiny", None, None, Scale::Quick).with("i", 0u32).prepare();
+        // A foreign key filed under key0's digest — exactly what a digest
+        // collision (or corruption) would leave behind.
+        let foreign = PreparedKey {
+            digest: key0.digest.clone(),
+            key_json: JobKey::new("tiny", None, None, Scale::Quick).with("i", 7u32).prepare().key_json,
+        };
+        cache.store(&foreign, &obj(vec![("y", 999.0.into())])).unwrap();
+        assert!(matches!(cache.load(&key0), CacheLookup::KeyMismatch));
+        assert!(matches!(cache.load(&foreign), CacheLookup::Hit(_)));
 
         // The engine must recompute the poisoned job, not serve 999.
         let cfg = SweepConfig::serial().with_cache(DiskCache::new(&dir).unwrap());
@@ -857,7 +633,7 @@ mod tests {
         assert_eq!(fig.series[0].points[0].1, 0.0, "served a mismatched entry");
         // The recompute overwrote the poisoned entry with a verified one.
         assert!(matches!(
-            DiskCache::new(&dir).unwrap().load(&digest0, &key0),
+            DiskCache::new(&dir).unwrap().load(&key0),
             CacheLookup::Hit(_)
         ));
         let _ = std::fs::remove_dir_all(&dir);
@@ -867,8 +643,7 @@ mod tests {
     fn concurrent_stores_never_tear_entries() {
         let dir = std::env::temp_dir().join(format!("xtsim-racestore-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let key = JobKey::new("race", None, None, Scale::Quick).with("p", 1u32);
-        let digest = key.digest();
+        let key = JobKey::new("race", None, None, Scale::Quick).with("p", 1u32).prepare();
         // Writers hammer the same digest with two alternating payloads while
         // readers continuously load-and-verify; a torn or misnamed temp file
         // would surface as a corrupt (Miss) or mismatched entry.
@@ -876,23 +651,21 @@ mod tests {
             for w in 0..4u32 {
                 let dir = dir.clone();
                 let key = key.clone();
-                let digest = digest.clone();
                 s.spawn(move || {
                     let cache = DiskCache::new(&dir).unwrap();
                     for round in 0..50u32 {
                         let y = f64::from((w + round) % 2);
-                        cache.store(&digest, &key, &obj(vec![("y", y.into())])).unwrap();
+                        cache.store(&key, &obj(vec![("y", y.into())])).unwrap();
                     }
                 });
             }
             for _ in 0..2 {
                 let dir = dir.clone();
                 let key = key.clone();
-                let digest = digest.clone();
                 s.spawn(move || {
                     let cache = DiskCache::new(&dir).unwrap();
                     for _ in 0..200 {
-                        match cache.load(&digest, &key) {
+                        match cache.load(&key) {
                             CacheLookup::Hit(v) => {
                                 let y = num(&v, "y");
                                 assert!(y == 0.0 || y == 1.0, "torn value {y}");
@@ -904,16 +677,12 @@ mod tests {
                 });
             }
         });
-        // Every temp file was renamed away; the entry is whole and verified.
-        let leftovers: Vec<_> = std::fs::read_dir(&dir)
-            .unwrap()
-            .filter_map(Result::ok)
-            .map(|e| e.file_name().to_string_lossy().into_owned())
-            .filter(|n| n.ends_with(".tmp"))
-            .collect();
-        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+        // Every temp file was renamed away (check the whole tree — entries
+        // and their temp files live in prefix subdirectories); the entry is
+        // whole and verified.
+        assert_eq!(DiskCache::new(&dir).unwrap().stats().tmp_files, 0, "stray temp files");
         assert!(matches!(
-            DiskCache::new(&dir).unwrap().load(&digest, &key),
+            DiskCache::new(&dir).unwrap().load(&key),
             CacheLookup::Hit(_)
         ));
         let _ = std::fs::remove_dir_all(&dir);
@@ -962,10 +731,10 @@ mod tests {
         assert_eq!(cache.stats().tmp_files, 0);
 
         // Committed entries are never touched by the sweep.
-        let key = JobKey::new("tiny", None, None, Scale::Quick).with("i", 1u32);
-        cache.store(&key.digest(), &key, &obj(vec![("y", 1.0.into())])).unwrap();
+        let key = JobKey::new("tiny", None, None, Scale::Quick).with("i", 1u32).prepare();
+        cache.store(&key, &obj(vec![("y", 1.0.into())])).unwrap();
         DiskCache::new(&dir).unwrap().sweep_stale_tmp(Duration::ZERO);
-        assert!(matches!(cache.load(&key.digest(), &key), CacheLookup::Hit(_)));
+        assert!(matches!(cache.load(&key), CacheLookup::Hit(_)));
         let stats = cache.stats();
         assert_eq!((stats.entries, stats.tmp_files), (1, 0));
         assert!(stats.bytes > 0);

@@ -90,19 +90,31 @@ fn engine_version_bump_invalidates_cache() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// Corrupt cache entries are treated as misses, not errors.
+/// Corrupt cache entries are treated as misses, not errors. The memory
+/// tier is disabled throughout: this test is about the *disk* tier's
+/// handling of on-disk damage (with the hot tier on, verified in-memory
+/// copies would legitimately keep serving — covered elsewhere).
 #[test]
 fn corrupt_cache_entries_are_recomputed() {
     let dir = tmp_cache_dir("corrupt");
     let fig05 = || xtsim::figures::figure("fig05").unwrap();
-    let cfg = SweepConfig::serial().with_cache(DiskCache::new(&dir).unwrap());
+    let cfg = SweepConfig::serial().with_cache(DiskCache::with_mem_cap(&dir, 0).unwrap());
     let (_, cold) = run_figure(fig05().spec(Scale::Quick), &cfg);
     assert_eq!(cold.computed, cold.total);
 
+    // Entries live in two-hex-prefix subdirectories; clobber every file in
+    // the tree.
     for entry in std::fs::read_dir(&dir).unwrap() {
-        std::fs::write(entry.unwrap().path(), "{ not json").unwrap();
+        let path = entry.unwrap().path();
+        if path.is_dir() {
+            for sub in std::fs::read_dir(&path).unwrap() {
+                std::fs::write(sub.unwrap().path(), "{ not json").unwrap();
+            }
+        } else {
+            std::fs::write(path, "{ not json").unwrap();
+        }
     }
-    let cfg = SweepConfig::serial().with_cache(DiskCache::new(&dir).unwrap());
+    let cfg = SweepConfig::serial().with_cache(DiskCache::with_mem_cap(&dir, 0).unwrap());
     let (fig, stats) = run_figure(fig05().spec(Scale::Quick), &cfg);
     assert_eq!(stats.computed, stats.total, "corrupt entries must miss");
     assert!(!fig.series.is_empty());

@@ -374,6 +374,15 @@ impl Snapshot {
             })
             .sum()
     }
+
+    /// Value of the first gauge series under `name` (gauge families used by
+    /// the dashboard are single-series; convenience for residency tiles).
+    pub fn gauge_value(&self, name: &str) -> Option<u64> {
+        self.family(name)?.series.iter().find_map(|s| match s.value {
+            SeriesValue::Gauge(n) => Some(n),
+            _ => None,
+        })
+    }
 }
 
 /// One family (all series sharing a name) in a [`Snapshot`].

@@ -160,6 +160,17 @@ pub fn render(
             c.entries,
             c.bytes as f64 / (1024.0 * 1024.0)
         ));
+        if c.mem_cap_bytes > 0 {
+            page.push_str(&format!(
+                "<div class=\"tile\"><b>{}</b>memory-tier entries \
+                 ({:.1} / {:.0} MiB)</div>",
+                c.mem_entries,
+                c.mem_bytes as f64 / (1024.0 * 1024.0),
+                c.mem_cap_bytes as f64 / (1024.0 * 1024.0)
+            ));
+        } else {
+            page.push_str("<div class=\"tile\"><b>off</b>memory tier (disk only)</div>");
+        }
     }
     page.push_str(&format!(
         "<div class=\"tile\"><b>{}</b>registry records</div></div>",
@@ -206,6 +217,8 @@ pub fn render(
     if let Some(snap) = telemetry {
         page.push_str("<h2>Telemetry (live metrics registry)</h2>");
         let hits = snap.counter_sum("xtsim_cache_lookups_total", &[("result", "hit")]);
+        let mem_hits =
+            snap.counter_sum("xtsim_cache_lookups_total", &[("result", "hit"), ("tier", "memory")]);
         let misses = snap.counter_sum("xtsim_cache_lookups_total", &[("result", "miss")]);
         let mismatches =
             snap.counter_sum("xtsim_cache_lookups_total", &[("result", "key_mismatch")]);
@@ -216,11 +229,21 @@ pub fn render(
                 "<div class=\"tile\"><b>{}%</b>cache hit ratio ({hits}/{lookups} lookups)</div>",
                 fmt(100.0 * hits as f64 / lookups as f64)
             ));
+            page.push_str(&format!(
+                "<div class=\"tile\"><b>{}%</b>memory-tier share of hits \
+                 ({mem_hits}/{hits})</div>",
+                if hits > 0 { fmt(100.0 * mem_hits as f64 / hits as f64) } else { fmt(0.0) }
+            ));
         } else {
             page.push_str(
                 "<div class=\"tile\"><b>&ndash;</b>cache hit ratio (no lookups yet)</div>",
             );
         }
+        page.push_str(&format!(
+            "<div class=\"tile\"><b>{}</b>memory-tier evictions ({} KiB resident)</div>",
+            snap.counter_sum("xtsim_cache_mem_evictions_total", &[]),
+            snap.gauge_value("xtsim_cache_mem_bytes").unwrap_or(0) / 1024
+        ));
         page.push_str(&format!(
             "<div class=\"tile\"><b>{}</b>queue rejections (429)</div>",
             snap.counter_sum("xtsim_queue_rejected_total", &[])

@@ -4,8 +4,9 @@
 //!
 //! ```text
 //! xtsim-serve [--port N] [--queue-cap N] [--max-concurrent N] [--jobs N]
-//!             [--cache-dir DIR | --no-cache] [--registry-dir DIR]
-//!             [--bench-root DIR] [--dashboard DIR] [--events FILE]
+//!             [--cache-dir DIR | --no-cache] [--cache-mem-cap BYTES]
+//!             [--registry-dir DIR] [--bench-root DIR] [--dashboard DIR]
+//!             [--events FILE]
 //! ```
 //!
 //! Server mode (default) binds `127.0.0.1:<port>` (`--port 0` picks an
@@ -19,7 +20,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
-use xtsim::sweep::DiskCache;
+use xtsim::sweep::{DiskCache, DEFAULT_MEM_CAP};
 use xtsim_serve::queue::Scheduler;
 use xtsim_serve::registry::Registry;
 use xtsim_serve::dashboard;
@@ -32,6 +33,7 @@ struct Args {
     jobs: usize,
     cache: bool,
     cache_dir: PathBuf,
+    cache_mem_cap: u64,
     registry_dir: PathBuf,
     bench_root: PathBuf,
     dashboard: Option<PathBuf>,
@@ -46,6 +48,7 @@ fn parse_args() -> Args {
         jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         cache: true,
         cache_dir: DiskCache::default_dir(),
+        cache_mem_cap: DEFAULT_MEM_CAP,
         registry_dir: Registry::default_dir(),
         bench_root: PathBuf::from("."),
         dashboard: None,
@@ -76,6 +79,14 @@ fn parse_args() -> Args {
             "--jobs" => args.jobs = parse_positive(&need(&mut it, "--jobs"), "--jobs"),
             "--no-cache" => args.cache = false,
             "--cache-dir" => args.cache_dir = PathBuf::from(need(&mut it, "--cache-dir")),
+            "--cache-mem-cap" => {
+                let v = need(&mut it, "--cache-mem-cap");
+                args.cache_mem_cap = xtsim::cli::parse_byte_size("--cache-mem-cap", &v)
+                    .unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    });
+            }
             "--registry-dir" => args.registry_dir = PathBuf::from(need(&mut it, "--registry-dir")),
             "--bench-root" => args.bench_root = PathBuf::from(need(&mut it, "--bench-root")),
             "--dashboard" => args.dashboard = Some(PathBuf::from(need(&mut it, "--dashboard"))),
@@ -83,8 +94,9 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: xtsim-serve [--port N] [--queue-cap N] [--max-concurrent N] [--jobs N]\n\
-                     \x20                  [--cache-dir DIR | --no-cache] [--registry-dir DIR]\n\
-                     \x20                  [--bench-root DIR] [--dashboard DIR] [--events FILE]"
+                     \x20                  [--cache-dir DIR | --no-cache] [--cache-mem-cap BYTES]\n\
+                     \x20                  [--registry-dir DIR] [--bench-root DIR] [--dashboard DIR]\n\
+                     \x20                  [--events FILE]"
                 );
                 std::process::exit(0);
             }
@@ -97,14 +109,13 @@ fn parse_args() -> Args {
     args
 }
 
+// Shared xtsim::cli validation (same messages as the figures CLI): a bad
+// token exits 2 naming the flag and quoting the token.
 fn parse_positive(v: &str, flag: &str) -> usize {
-    match v.parse::<usize>() {
-        Ok(n) if n >= 1 => n,
-        _ => {
-            eprintln!("{flag} needs a positive integer, got {v:?}");
-            std::process::exit(2);
-        }
-    }
+    xtsim::cli::parse_positive(flag, v).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
 }
 
 fn main() {
@@ -153,11 +164,12 @@ fn main() {
     }
 
     let cache_dir = args.cache.then(|| args.cache_dir.clone());
-    let exec = figure_executor(cache_dir.clone(), registry.clone());
+    let exec = figure_executor(cache_dir.clone(), args.cache_mem_cap, registry.clone());
     let state = Arc::new(AppState {
         scheduler: Scheduler::new(args.queue_cap, args.max_concurrent, exec),
         registry,
         cache_dir,
+        cache_mem_cap: args.cache_mem_cap,
         bench_root: args.bench_root.clone(),
         default_jobs: args.jobs,
         started: Instant::now(),
@@ -178,7 +190,11 @@ fn main() {
         args.queue_cap,
         args.max_concurrent,
         args.jobs,
-        if args.cache { "on" } else { "off" }
+        match (args.cache, args.cache_mem_cap) {
+            (false, _) => "off".to_string(),
+            (true, 0) => "on (disk only)".to_string(),
+            (true, cap) => format!("on ({} KiB memory tier)", cap / 1024),
+        }
     );
     serve(listener, state);
 }

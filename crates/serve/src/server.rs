@@ -31,6 +31,8 @@ pub struct AppState {
     pub registry: Option<Arc<Registry>>,
     /// Cache directory (for `/stats`), when caching is enabled.
     pub cache_dir: Option<PathBuf>,
+    /// Memory hot-tier byte budget for the result cache (0 = disk only).
+    pub cache_mem_cap: u64,
     /// Directory scanned for `BENCH_*.json` (the repo root).
     pub bench_root: PathBuf,
     /// Default sweep worker threads for requests that don't specify `jobs`.
@@ -62,7 +64,11 @@ pub fn unix_now() -> f64 {
 /// registry. The result JSON is `serde_json::to_string_pretty` of the
 /// [`xtsim::report::FigureResult`] — byte-identical to the CLI's
 /// `<id>.json` artifact for the same (figure, scale, des-threads).
-pub fn figure_executor(cache_dir: Option<PathBuf>, registry: Option<Arc<Registry>>) -> Executor {
+pub fn figure_executor(
+    cache_dir: Option<PathBuf>,
+    cache_mem_cap: u64,
+    registry: Option<Arc<Registry>>,
+) -> Executor {
     Arc::new(move |id: u64, req: &RunRequest, wait_secs: f64| {
         let run = || -> Result<crate::queue::RunOutput, String> {
             let fig = catalog()
@@ -73,7 +79,10 @@ pub fn figure_executor(cache_dir: Option<PathBuf>, registry: Option<Arc<Registry
                 .with_des_threads(req.des_threads)
                 .with_metrics();
             if let Some(dir) = &cache_dir {
-                match DiskCache::new(dir) {
+                // The memory hot tier is process-wide per cache directory,
+                // so every run (and every concurrent client) shares it; the
+                // cap is (re)applied here in case it changed.
+                match DiskCache::with_mem_cap(dir, cache_mem_cap) {
                     Ok(cache) => cfg = cfg.with_cache(cache),
                     Err(e) => xtsim_obs::events::warn(
                         "xtsim_serve::executor",
@@ -455,6 +464,7 @@ mod tests {
             scheduler: Scheduler::new(4, 1, exec),
             registry: None,
             cache_dir: None,
+            cache_mem_cap: 0,
             bench_root: PathBuf::from("."),
             default_jobs: 2,
             started: Instant::now(),

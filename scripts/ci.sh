@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # CI gate: lint, build, full test suite (includes the golden-figure
 # regression harness, the sweep-engine determinism/cache tests, the
-# observability trace/metrics consistency tests, and the cache-key and
-# JSON-string property tests), then a cache-disabled quick-scale smoke run
-# of the figures binary itself plus a trace/metrics export smoke.
+# two-tier cache interleaving property tests, the observability
+# trace/metrics consistency tests, and the cache-key and JSON-string
+# property tests), then a cache-disabled quick-scale smoke run of the
+# figures binary itself, a trace/metrics export smoke, CLI validation
+# checks, a serve smoke with a parallel-clients phase over the shared
+# memory tier, and the bench gate (including the >=2x memory-vs-disk
+# cache acceptance check).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -95,6 +99,33 @@ if cargo run --release -p xtsim-bench --bin figures -- \
     echo "figures --only figZZ must exit nonzero"; exit 1
 fi
 
+echo "== CLI numeric validation (bad tokens exit 2 and name the token) =="
+# Both binaries share xtsim::cli parsing: an unparsable count or byte size
+# must exit 2 and quote the offending token, never panic or silently
+# default.
+check_bad_token() {
+    local desc="$1"; shift
+    local token="$1"; shift
+    local rc=0 err
+    err="$("$@" 2>&1 >/dev/null)" || rc=$?
+    if [ "$rc" -ne 2 ]; then
+        echo "$desc: expected exit 2, got $rc"; echo "$err"; exit 1
+    fi
+    case "$err" in
+        *"$token"*) ;;
+        *) echo "$desc: stderr does not name the token $token:"; echo "$err"; exit 1;;
+    esac
+}
+cargo build --release -p xtsim-serve -p xtsim-bench
+check_bad_token "figures --jobs abc" "abc" \
+    target/release/figures --quick --no-cache --jobs abc --out "$(mktemp -d)"
+check_bad_token "figures --cache-mem-cap 12parsecs" "12parsecs" \
+    target/release/figures --quick --cache-mem-cap 12parsecs --out "$(mktemp -d)"
+check_bad_token "xtsim-serve --jobs abc" "abc" \
+    target/release/xtsim-serve --port 0 --jobs abc
+check_bad_token "xtsim-serve --cache-mem-cap 12parsecs" "12parsecs" \
+    target/release/xtsim-serve --port 0 --cache-mem-cap 12parsecs
+
 echo "== xtsim-serve smoke (submit, poll, byte-diff vs CLI, stats, /metrics) =="
 out="$(mktemp -d)"
 # CLI artifact first (its own cache), then the service computes the same
@@ -103,6 +134,7 @@ cargo run --release -p xtsim-bench --bin figures -- \
     --quick --only fig02 --jobs 2 --cache-dir "$out/cli-cache" --out "$out/cli" >/dev/null
 cargo build --release -p xtsim-serve
 target/release/xtsim-serve --port 0 --cache-dir "$out/serve-cache" \
+    --cache-mem-cap 64m \
     --registry-dir "$out/registry" --max-concurrent 1 --jobs 2 \
     --bench-root . --events "$out/events.jsonl" >"$out/serve.log" 2>&1 &
 serve_pid=$!
@@ -156,6 +188,19 @@ env, warm = run_to_completion({"figure": "fig02", "scale": "quick", "jobs": 2})
 assert env["cached"] > 0, f"second run did not hit the cache: {env}"
 open(f"{out}/serve_warm.json", "wb").write(warm)
 
+# Parallel-clients phase: four clients hammer the same figure at once.
+# Every response must be byte-identical (diffed against the CLI artifact
+# below) and the shared memory tier must serve at least some of them.
+from concurrent.futures import ThreadPoolExecutor
+with ThreadPoolExecutor(max_workers=4) as pool:
+    par = list(pool.map(
+        lambda _: run_to_completion({"figure": "fig02", "scale": "quick", "jobs": 2}),
+        range(4),
+    ))
+for i, (penv, pbody) in enumerate(par):
+    open(f"{out}/serve_par_{i}.json", "wb").write(pbody)
+    assert penv["cached"] > 0, f"parallel client {i} missed the warm cache: {penv}"
+
 # A PDES-aware figure (fig24 shards its worlds even at one DES thread)
 # exercises the partitioned engine so the epoch counter shows up in the
 # /metrics scrape below.
@@ -167,14 +212,19 @@ assert stats["schema"] == "xtsim-serve-stats-v1", stats
 assert stats["engine_version"] >= 1
 for k in ("queued", "running", "done", "failed", "rejected", "capacity", "workers"):
     assert k in stats["queue"], f"queue stats missing {k}"
-assert stats["queue"]["done"] >= 3
+assert stats["queue"]["done"] >= 7
 assert stats["cache"]["entries"] > 0
-assert stats["registry"]["records"] >= 3
+# Two-tier cache stats: the hot tier holds promoted entries, stays under
+# its configured cap, and reports the cap the server was started with.
+assert stats["cache"]["mem_entries"] > 0, stats["cache"]
+assert 0 < stats["cache"]["mem_bytes"] <= stats["cache"]["mem_cap_bytes"], stats["cache"]
+assert stats["cache"]["mem_cap_bytes"] == 64 * 1024 * 1024, stats["cache"]
+assert stats["registry"]["records"] >= 7
 assert stats["registry"]["skipped"] == 0
 
 # The registry replays every completed run; the dashboard renders SVG.
 reg = json.loads(req("GET", "/registry")[1])
-assert len(reg["records"]) >= 3
+assert len(reg["records"]) >= 7
 rec = reg["records"][-1]
 assert rec["schema"] == "xtsim-registry-v1" and rec["figure"] == "fig24"
 assert rec["outcome"] == "done" and rec["wall_secs"] > 0
@@ -218,8 +268,22 @@ assert samples.get("xtsim_pdes_epochs_total", 0) > 0, "no PDES epochs recorded"
 hits = sum(v for k, v in samples.items()
            if k.startswith("xtsim_cache_lookups_total") and 'result="hit"' in k)
 assert hits > 0, "warm run did not register a cache hit in /metrics"
+# Two-tier instrumentation: hits are split by tier, the warm/parallel runs
+# must land some in the memory tier, and the eviction counter + residency
+# gauges keep their documented names and types even when idle at zero.
+mem_hits = sum(v for k, v in samples.items()
+               if k.startswith("xtsim_cache_lookups_total")
+               and 'result="hit"' in k and 'tier="memory"' in k)
+assert mem_hits > 0, "no memory-tier cache hits in /metrics"
+assert types.get("xtsim_cache_mem_evictions_total") == "counter", types
+assert "xtsim_cache_mem_evictions_total" in samples, "eviction counter not exported"
+assert types.get("xtsim_cache_mem_bytes") == "gauge", types
+assert types.get("xtsim_cache_mem_entries") == "gauge", types
+assert types.get("xtsim_cache_lookup_seconds") == "histogram", types
+assert samples.get("xtsim_cache_mem_bytes", 0) > 0, "memory tier reports no residency"
+assert samples.get("xtsim_cache_mem_bytes", 0) <= 64 * 1024 * 1024, "residency above cap"
 waits = samples.get("xtsim_queue_wait_seconds_count", 0)
-assert waits >= 3, f"queue wait histogram saw {waits} runs, expected >= 3"
+assert waits >= 7, f"queue wait histogram saw {waits} runs, expected >= 7"
 infs = [v for k, v in samples.items()
         if k.startswith("xtsim_queue_wait_seconds_bucket") and 'le="+Inf"' in k]
 assert infs and infs[0] == waits, "queue wait +Inf bucket != _count"
@@ -231,6 +295,11 @@ diff "$out/cli/fig02.json" "$out/serve_cold.json" || {
 diff "$out/cli/fig02.json" "$out/serve_warm.json" || {
     echo "service result (warm) differs from figures CLI output"; exit 1;
 }
+for i in 0 1 2 3; do
+    diff "$out/cli/fig02.json" "$out/serve_par_$i.json" || {
+        echo "parallel client $i result differs from figures CLI output"; exit 1;
+    }
+done
 kill "$serve_pid" 2>/dev/null || true
 trap - EXIT
 # The --events JSONL sink exists and every line is a schema-tagged record
@@ -254,6 +323,11 @@ out="$(mktemp -d)"
 # --check compares against the committed quick-scale baseline and fails on
 # a >2x regression; tolerance is deliberately loose because the quick
 # schedule takes few samples (see BENCH_QUICK.json for the recorded floor).
+# cache/concurrent_mixed_8t is deliberately absent from that baseline: 8
+# threads timesliced onto this single-core container make its median pure
+# scheduling noise (2x run-to-run swings observed). It must still run and
+# report (asserted below); the tier speed gate is the within-run memory-
+# vs-disk ratio, which machine load cancels out of.
 scripts/bench.sh --quick --out "$out/bench.json" --check BENCH_QUICK.json:1.0 >/dev/null
 python3 - "$out/bench.json" <<'EOF'
 import json, sys
@@ -268,12 +342,27 @@ for name in (
     "alltoall_fluid/ranks_1024",
     "pdes_alltoall/ranks_1024/threads_1",
     "pdes_alltoall/ranks_1024/threads_4",
+    "cache/cold_miss",
+    "cache/warm_disk_hit",
+    "cache/warm_memory_hit",
+    "cache/concurrent_mixed_8t",
 ):
     b = benches.get(name)
     assert b, f"missing bench {name}"
     ms = b.get("median_ms", b.get("after_ms"))
     assert ms and ms > 0, f"{name}: no positive timing"
     assert b.get("iters", 1) >= 1, f"{name}: no iterations"
+
+# The hot tier must actually be hot: a warm memory-tier lookup has to beat
+# a warm disk-tier lookup by at least 2x median, or the two-tier design is
+# not paying for itself (ISSUE 9 acceptance gate).
+def ms(name):
+    b = benches[name]
+    return b.get("median_ms", b.get("after_ms"))
+assert ms("cache/warm_memory_hit") * 2 <= ms("cache/warm_disk_hit"), (
+    f"memory tier not >=2x faster than disk tier: "
+    f"{ms('cache/warm_memory_hit'):.3f} ms vs {ms('cache/warm_disk_hit'):.3f} ms"
+)
 # The committed before/after record must keep the same shape.
 committed = json.load(open("BENCH_PR4.json"))
 assert committed["schema"] == "xtsim-bench-v1"

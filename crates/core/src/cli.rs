@@ -87,6 +87,7 @@ pub fn parse_byte_size(flag: &str, value: &str) -> Result<u64, String> {
 /// Unset means serial (1). A set-but-unparsable value (`DES_THREADS=abc`,
 /// `=0`, `=-2`) also runs serial, but *says so* on stderr — silently
 /// ignoring an explicit request to parallelize hides misconfiguration.
+// xtsim-lint: allow(transitive-taint, "the warn-event timestamp is stderr telemetry read before the sim starts; no sim state derives from it")
 pub fn des_threads_from_env() -> usize {
     match std::env::var("DES_THREADS") {
         Ok(v) => match v.trim().parse::<usize>() {

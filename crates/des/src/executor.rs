@@ -188,28 +188,24 @@ impl EventQueue {
                 }
             }
         }
+        // The `?`s below are unreachable by construction — `fifo_seq` /
+        // `best_flow` only name non-empty lanes — so the happy path is
+        // untouched and the hot path stays panic-free.
         let action = match (fifo_seq, best_flow) {
-            (Some(fs), Some((ps, i)) ) if ps < fs => {
-                let m = &mut bucket.flows[i].1;
-                let uid = *m.keys().next().expect("non-empty flow lane");
-                m.remove(&uid).expect("present")
-            }
-            (Some(_), _) => bucket.fifo.pop_front().expect("non-empty fifo").1,
-            (None, Some((_, i))) => {
-                let m = &mut bucket.flows[i].1;
-                let uid = *m.keys().next().expect("non-empty flow lane");
-                m.remove(&uid).expect("present")
-            }
+            (Some(fs), Some((ps, i))) if ps < fs => bucket.flows[i].1.pop_first()?.1,
+            (Some(_), _) => bucket.fifo.pop_front()?.1,
+            (None, Some((_, i))) => bucket.flows[i].1.pop_first()?.1,
             (None, None) => unreachable!("queued time with empty bucket"),
         };
         self.len -= 1;
         if bucket.is_empty() {
-            let mut empty = self.buckets.remove(&time).expect("bucket present");
             self.times.pop();
-            if self.spare.len() < 32 {
-                empty.fifo.clear();
-                empty.flows.clear();
-                self.spare.push(empty);
+            if let Some(mut empty) = self.buckets.remove(&time) {
+                if self.spare.len() < 32 {
+                    empty.fifo.clear();
+                    empty.flows.clear();
+                    self.spare.push(empty);
+                }
             }
         }
         Some((time, action))
@@ -245,10 +241,15 @@ struct TaskWaker {
 
 impl std::task::Wake for TaskWaker {
     fn wake(self: Arc<Self>) {
-        self.ready.lock().expect("ready queue poisoned").push_back(self.id);
+        // A poisoned ready queue only means another thread panicked mid-push;
+        // the VecDeque itself is still consistent, so waking must not turn
+        // one panic into an abort-grade double panic.
+        // xtsim-lint: allow(blocking-in-poll, "ready-queue mutex is held for one push_back; uncontended in the single-threaded executor (Waker: Sync forces a lock)")
+        self.ready.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push_back(self.id);
     }
     fn wake_by_ref(self: &Arc<Self>) {
-        self.ready.lock().expect("ready queue poisoned").push_back(self.id);
+        // xtsim-lint: allow(blocking-in-poll, "ready-queue mutex is held for one push_back; uncontended in the single-threaded executor (Waker: Sync forces a lock)")
+        self.ready.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push_back(self.id);
     }
 }
 
@@ -324,7 +325,7 @@ impl SimCore {
         };
         self.staged.borrow_mut().push((id, fut));
         self.live_tasks.set(self.live_tasks.get() + 1);
-        self.ready.lock().expect("ready queue poisoned").push_back(id);
+        self.ready.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push_back(id);
         id
     }
 
@@ -555,7 +556,11 @@ impl Sim {
             core.commit_staged();
             // Phase 1: drain the ready queue at the current instant.
             loop {
-                let next = core.ready.lock().expect("ready queue poisoned").pop_front();
+                let next = core
+                    .ready
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .pop_front();
                 let Some(id) = next else { break };
                 let fut = {
                     let mut tasks = core.tasks.borrow_mut();

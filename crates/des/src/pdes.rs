@@ -525,6 +525,7 @@ type SeatSpec = (
 );
 
 /// Returns `None` iff the barrier was poisoned by a peer's panic.
+// xtsim-lint: allow(transitive-taint, "worker epoch stopwatch feeds the PDES latency histogram (host-side telemetry); simulated time comes only from the DES clock")
 fn worker_body<R, B, F>(
     cfg: &PdesConfig,
     window: SimDuration,

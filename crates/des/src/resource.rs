@@ -36,6 +36,7 @@ struct StationState {
 impl FifoStation {
     /// Create a station with `servers` identical servers.
     pub fn new(handle: SimHandle, servers: usize) -> Self {
+        // xtsim-lint: allow(panic-propagation, "construction-time validation; stations are built at platform setup, never mid-event")
         assert!(servers >= 1, "a station needs at least one server");
         let mut free_at = BinaryHeap::with_capacity(servers);
         for _ in 0..servers {
@@ -58,7 +59,10 @@ impl FifoStation {
         let now = self.handle.now();
         let (end, waited) = {
             let mut st = self.state.borrow_mut();
-            let Reverse(free) = st.free_at.pop().expect("station has at least one server");
+            // The constructor guarantees >= 1 server and every pop is paired
+            // with a push below, so an empty heap is unreachable; treating
+            // it as free-now keeps this event-path helper infallible.
+            let free = st.free_at.pop().map_or(SimTime::ZERO, |Reverse(t)| t);
             let start = free.max(now);
             let end = start + service;
             st.free_at.push(Reverse(end));
@@ -72,7 +76,7 @@ impl FifoStation {
     /// Instant at which a request arriving now would *start* service.
     pub fn next_start(&self) -> SimTime {
         let st = self.state.borrow();
-        let Reverse(free) = *st.free_at.peek().expect("non-empty");
+        let free = st.free_at.peek().map_or(SimTime::ZERO, |&Reverse(t)| t);
         free.max(self.handle.now())
     }
 

@@ -21,6 +21,9 @@ pub struct Config {
     pub sim_crates: Vec<Glob>,
     /// Event-handler / executor hot paths; `panic-in-hot-path` applies here.
     pub hot_paths: Vec<Glob>,
+    /// Files whose `fn poll` bodies must not block; `blocking-in-poll`
+    /// applies here.
+    pub poll_paths: Vec<Glob>,
     /// Per-rule path allowlists: `[allow.<rule>] paths = [...]`.
     pub rule_allow: BTreeMap<String, Vec<Glob>>,
 }
@@ -64,6 +67,7 @@ impl Config {
                 ([s], "test_paths") if s == "lint" => cfg.test_paths = globs,
                 ([s], "sim_crates") if s == "lint" => cfg.sim_crates = globs,
                 ([s], "hot_paths") if s == "lint" => cfg.hot_paths = globs,
+                ([s], "poll_paths") if s == "lint" => cfg.poll_paths = globs,
                 ([a, rule], "paths") if a == "allow" => {
                     cfg.rule_allow.insert(rule.clone(), globs);
                 }
@@ -96,6 +100,11 @@ impl Config {
     /// Is `path` a DES hot path?
     pub fn is_hot_path(&self, path: &str) -> bool {
         matches_any(&self.hot_paths, path)
+    }
+
+    /// Does `blocking-in-poll` watch `path`'s `fn poll` bodies?
+    pub fn is_poll_path(&self, path: &str) -> bool {
+        matches_any(&self.poll_paths, path)
     }
 
     /// Is `path` allowlisted for `rule`?

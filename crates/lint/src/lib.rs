@@ -8,7 +8,8 @@
 //! dependency-free token-pattern pass (hand-rolled lexer, no `syn`; the
 //! build container is offline, like the `crates/compat` shims).
 //!
-//! Rule catalog (see `lint.toml` for path scoping):
+//! Rule catalog (see `lint.toml` for path scoping; `--explain RULE` for
+//! rationale, examples, and suppression syntax):
 //!
 //! | rule | severity | what |
 //! |------|----------|------|
@@ -18,6 +19,15 @@
 //! | `refcell-reentrant-borrow` | error | two borrows of one `RefCell` in a statement |
 //! | `panic-in-hot-path` | warn/note | `unwrap`/`expect` (warn) and indexing (note) in DES hot paths |
 //! | `unsafe-without-safety-comment` | warn | `unsafe` lacking a `// SAFETY:` comment |
+//! | `transitive-taint` | error | sim code reaching wallclock/RNG through any call chain |
+//! | `lock-order-cycle` | error | cycle in the lock acquisition-order graph |
+//! | `panic-propagation` | warn | hot-path fn calling may-panic code outside the hot set |
+//! | `blocking-in-poll` | warn | std lock/Condvar wait reachable from `fn poll` |
+//!
+//! The last four are interprocedural: a recursive-descent signature parser
+//! ([`parser`]) builds a workspace-wide approximate call graph ([`graph`];
+//! unresolved edges are recorded, never guessed) and [`interproc`] walks it.
+//! Their diagnostics carry the full witness call chain.
 //!
 //! Suppression is an inline `// xtsim-lint: allow(<rule>, "<why>")` comment
 //! or a committed `lint-baseline.json`; unused allows and stale baseline
@@ -26,11 +36,16 @@
 //! Run it via the binary:
 //!
 //! ```text
-//! cargo run -p xtsim-lint -- --workspace --deny warnings --json out.json
+//! cargo run -p xtsim-lint -- --workspace --deny warnings --json out.json \
+//!     --call-graph callgraph.json
 //! ```
 
 pub mod config;
+pub mod explain;
+pub mod graph;
+pub mod interproc;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
 
@@ -38,11 +53,13 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 use config::Config;
+use parser::FactKind;
 use report::{BaselineEntry, Report, Suppressed, SuppressedHow};
 use rules::{rule_id, FileContext, Finding, Severity};
 
-/// Scan one file's source text and return its (unsuppressed-by-baseline)
-/// findings after inline-allow processing, plus its `unsafe` count.
+/// Scan one file's source text with the *token* rules only and return its
+/// findings after inline-allow processing, plus its `unsafe` count. The
+/// interprocedural rules need the whole workspace — see [`analyze_sources`].
 /// `path` must be workspace-relative with `/` separators.
 pub fn scan_source(
     path: &str,
@@ -51,6 +68,17 @@ pub fn scan_source(
 ) -> (Vec<Finding>, Vec<Suppressed>, usize) {
     let mut ctx = FileContext::new(path, src, cfg);
     let raw = rules::run_rules(&ctx, cfg);
+    let (findings, suppressed) = apply_allows(&mut ctx, raw, path);
+    (findings, suppressed, ctx.unsafe_count)
+}
+
+/// Split `raw` into kept findings and allow-suppressed ones, then report
+/// allows that suppressed nothing.
+fn apply_allows(
+    ctx: &mut FileContext,
+    raw: Vec<Finding>,
+    path: &str,
+) -> (Vec<Finding>, Vec<Suppressed>) {
     let mut findings = Vec::new();
     let mut suppressed = Vec::new();
     for f in raw {
@@ -81,11 +109,89 @@ pub fn scan_source(
                 ),
                 suggestion: "delete the stale allow comment".to_string(),
                 snippet: String::new(),
+                chain: Vec::new(),
             });
         }
     }
     findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
-    (findings, suppressed, ctx.unsafe_count)
+    (findings, suppressed)
+}
+
+/// Per-file outcome of [`analyze_sources`].
+pub struct FileAnalysis {
+    pub path: String,
+    pub findings: Vec<Finding>,
+    pub suppressed: Vec<Suppressed>,
+    pub unsafe_count: usize,
+}
+
+/// Analyze a whole set of sources together: token rules per file, plus the
+/// call-graph pass and the four interprocedural rules across all of them.
+/// `sources` holds `(workspace-relative path, text)` pairs.
+pub fn analyze_sources(
+    sources: &[(String, String)],
+    cfg: &Config,
+) -> (Vec<FileAnalysis>, graph::CallGraph) {
+    let mut ctxs: Vec<FileContext> = sources
+        .iter()
+        .map(|(path, src)| FileContext::new(path, src, cfg))
+        .collect();
+    let mut decls = Vec::new();
+    for ctx in &ctxs {
+        decls.extend(parser::parse_file(ctx));
+    }
+    let g = graph::build(decls);
+    let inter = interproc::run_interproc(&g, cfg);
+
+    let mut out = Vec::new();
+    for ctx in ctxs.iter_mut() {
+        let path = ctx.path.to_string();
+        // An inline allow on a wallclock/RNG/panic/blocking/lock site stops
+        // that fact from seeding the interprocedural analyses (see
+        // `parser`), which is real work even when no token finding exists on
+        // that line — mark those allows used so they aren't flagged stale.
+        for d in g.fns.iter().filter(|d| d.file == path) {
+            for fa in &d.facts {
+                if !fa.allowed {
+                    continue;
+                }
+                let rules: &[&str] = match fa.kind {
+                    FactKind::Wallclock => {
+                        &[rule_id::WALLCLOCK_IN_SIM, rule_id::TRANSITIVE_TAINT]
+                    }
+                    FactKind::Rng => &[rule_id::AMBIENT_RNG, rule_id::TRANSITIVE_TAINT],
+                    FactKind::Panic => {
+                        &[rule_id::PANIC_IN_HOT_PATH, rule_id::PANIC_PROPAGATION]
+                    }
+                    FactKind::Blocking => &[rule_id::BLOCKING_IN_POLL],
+                };
+                mark_used(ctx, rules, fa.line);
+            }
+            for l in &d.locks {
+                if l.allowed {
+                    mark_used(ctx, &[rule_id::LOCK_ORDER_CYCLE], l.line);
+                }
+            }
+        }
+        let mut raw = rules::run_rules(ctx, cfg);
+        raw.extend(inter.iter().filter(|f| f.file == path).cloned());
+        let (findings, suppressed) = apply_allows(ctx, raw, &path);
+        out.push(FileAnalysis {
+            path,
+            findings,
+            suppressed,
+            unsafe_count: ctx.unsafe_count,
+        });
+    }
+    (out, g)
+}
+
+fn mark_used(ctx: &mut FileContext, rules: &[&str], line: u32) {
+    for a in ctx.allows.iter_mut() {
+        if a.applies_to.contains(&line) && rules.contains(&a.rule.as_str()) {
+            a.used = true;
+        }
+    }
 }
 
 /// Options for [`run`].
@@ -97,13 +203,23 @@ pub struct RunOptions {
 }
 
 /// Walk every `.rs` file under `root` (respecting `cfg.exclude`), run the
-/// rule catalog, apply inline allows and the baseline, and assemble the
-/// [`Report`].
+/// full rule catalog (token + interprocedural), apply inline allows and the
+/// baseline, and assemble the [`Report`] (which carries the call graph for
+/// `--call-graph`).
 pub fn run(cfg: &Config, opts: &RunOptions) -> Result<Report, String> {
     let mut files = Vec::new();
     collect_rs_files(&opts.root, &opts.root, cfg, &mut files)
         .map_err(|e| format!("walking {}: {e}", opts.root.display()))?;
     files.sort();
+
+    let mut sources = Vec::with_capacity(files.len());
+    for rel in files {
+        let abs = opts.root.join(&rel);
+        let src = std::fs::read_to_string(&abs)
+            .map_err(|e| format!("reading {}: {e}", abs.display()))?;
+        sources.push((rel, src));
+    }
+    let (analyses, call_graph) = analyze_sources(&sources, cfg);
 
     // Baseline as a multiset so duplicate snippets on one line-pair each
     // suppress one finding.
@@ -114,22 +230,19 @@ pub fn run(cfg: &Config, opts: &RunOptions) -> Result<Report, String> {
 
     let mut report = Report {
         root: opts.root.display().to_string(),
+        call_graph,
         ..Report::default()
     };
-    for rel in &files {
-        let abs = opts.root.join(rel);
-        let src = std::fs::read_to_string(&abs)
-            .map_err(|e| format!("reading {}: {e}", abs.display()))?;
-        let (findings, suppressed, unsafe_count) = scan_source(rel, &src, cfg);
+    for fa in analyses {
         report.files_scanned += 1;
-        report.suppressed.extend(suppressed);
-        if unsafe_count > 0 {
+        report.suppressed.extend(fa.suppressed);
+        if fa.unsafe_count > 0 {
             *report
                 .unsafe_inventory
-                .entry(crate_of(rel).to_string())
-                .or_insert(0) += unsafe_count;
+                .entry(crate_of(&fa.path).to_string())
+                .or_insert(0) += fa.unsafe_count;
         }
-        for f in findings {
+        for f in fa.findings {
             // Notes never gate CI and are never baselined, so they must not
             // consume entries that a warn on the same line would need (an
             // `expect` call is both an expect-warn and an indexing-note
@@ -142,6 +255,7 @@ pub fn run(cfg: &Config, opts: &RunOptions) -> Result<Report, String> {
                 file: f.file.clone(),
                 rule: f.rule.to_string(),
                 snippet: f.snippet.clone(),
+                function: f.chain.first().map(|h| h.function.clone()),
             };
             match baseline.get_mut(&key) {
                 Some(n) if *n > 0 => {

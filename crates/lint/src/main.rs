@@ -3,8 +3,9 @@
 //!
 //! ```text
 //! xtsim-lint [--workspace | PATH...] [--deny warnings] [--json FILE]
-//!            [--config FILE] [--baseline FILE | --no-baseline]
-//!            [--write-baseline] [--verbose]
+//!            [--call-graph FILE] [--config FILE]
+//!            [--baseline FILE | --no-baseline] [--write-baseline]
+//!            [--explain RULE] [--verbose]
 //! ```
 //!
 //! Exit status: 0 clean, 1 findings (errors, or warnings under
@@ -14,33 +15,38 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use xtsim_lint::config::Config;
-use xtsim_lint::report::parse_baseline;
-use xtsim_lint::{find_workspace_root, run, RunOptions};
+use xtsim_lint::report::{callgraph_json, parse_baseline};
+use xtsim_lint::{explain, find_workspace_root, run, RunOptions};
 
 struct Args {
     root: Option<PathBuf>,
     deny_warnings: bool,
     json: Option<PathBuf>,
+    call_graph: Option<PathBuf>,
     config: Option<PathBuf>,
     baseline: Option<PathBuf>,
     use_baseline: bool,
     write_baseline: bool,
+    explain: Option<String>,
     verbose: bool,
 }
 
 const USAGE: &str = "usage: xtsim-lint [--workspace | PATH] [--deny warnings] [--json FILE]\n\
- \x20                 [--config FILE] [--baseline FILE | --no-baseline]\n\
- \x20                 [--write-baseline] [--verbose]";
+ \x20                 [--call-graph FILE] [--config FILE]\n\
+ \x20                 [--baseline FILE | --no-baseline] [--write-baseline]\n\
+ \x20                 [--explain RULE] [--verbose]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: None,
         deny_warnings: false,
         json: None,
+        call_graph: None,
         config: None,
         baseline: None,
         use_baseline: true,
         write_baseline: false,
+        explain: None,
         verbose: false,
     };
     let mut it = std::env::args().skip(1);
@@ -59,6 +65,13 @@ fn parse_args() -> Result<Args, String> {
             },
             "--json" => {
                 args.json = Some(PathBuf::from(it.next().ok_or("--json needs a file path")?));
+            }
+            "--call-graph" => {
+                args.call_graph =
+                    Some(PathBuf::from(it.next().ok_or("--call-graph needs a file path")?));
+            }
+            "--explain" => {
+                args.explain = Some(it.next().ok_or("--explain needs a rule name")?);
             }
             "--config" => {
                 args.config = Some(PathBuf::from(it.next().ok_or("--config needs a file path")?));
@@ -88,6 +101,22 @@ fn parse_args() -> Result<Args, String> {
 
 fn real_main() -> Result<bool, String> {
     let args = parse_args().map_err(|e| format!("{e}\n{USAGE}"))?;
+
+    if let Some(rule) = &args.explain {
+        match explain::explain(rule) {
+            Some(text) => {
+                print!("{text}");
+                return Ok(false);
+            }
+            None => {
+                return Err(format!(
+                    "unknown rule `{rule}`; rules are: {}",
+                    explain::rule_ids().join(", ")
+                ));
+            }
+        }
+    }
+
     let root = match &args.root {
         Some(r) => r.clone(),
         None => {
@@ -136,6 +165,10 @@ fn real_main() -> Result<bool, String> {
     if let Some(json_path) = &args.json {
         std::fs::write(json_path, report.json())
             .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
+    }
+    if let Some(cg_path) = &args.call_graph {
+        std::fs::write(cg_path, callgraph_json(&report.call_graph))
+            .map_err(|e| format!("writing {}: {e}", cg_path.display()))?;
     }
     print!("{}", report.human(args.verbose));
     Ok(report.is_fatal(args.deny_warnings))

@@ -7,12 +7,16 @@
 //! finding are reported as stale so the baseline only ever shrinks.
 //!
 //! JSON in and out is hand-rolled (this crate is dependency-free); the
-//! emitted document is `xtsim-lint-v1`, validated structurally by
-//! `scripts/ci.sh`.
+//! emitted document is `xtsim-lint-v2` (v1 plus per-finding witness call
+//! chains), validated structurally by `scripts/ci.sh`. Baselines are written
+//! as `xtsim-lint-baseline-v2` (adds an optional `function` key so
+//! interprocedural findings baseline per-function); the v1 baseline format
+//! is still accepted on read.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use crate::graph::CallGraph;
 use crate::rules::{Finding, Severity};
 
 /// Why a finding is not being acted on.
@@ -37,6 +41,10 @@ pub struct BaselineEntry {
     pub file: String,
     pub rule: String,
     pub snippet: String,
+    /// For interprocedural findings: the flagged function (first chain hop),
+    /// so one baselined function doesn't excuse its whole file. `None` for
+    /// token findings and for every v1-format entry.
+    pub function: Option<String>,
 }
 
 /// The whole run's outcome.
@@ -53,6 +61,9 @@ pub struct Report {
     pub unsafe_inventory: BTreeMap<String, usize>,
     /// Baseline entries that matched nothing (candidates for deletion).
     pub stale_baseline: Vec<BaselineEntry>,
+    /// The workspace call graph the interprocedural rules ran on
+    /// (`--call-graph` serializes it via [`callgraph_json`]).
+    pub call_graph: CallGraph,
 }
 
 impl Report {
@@ -86,6 +97,13 @@ impl Report {
                 f.message
             );
             let _ = writeln!(out, "    = help: {}", f.suggestion);
+            for (i, h) in f.chain.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "    = chain[{i}]: {} ({}:{})",
+                    h.function, h.file, h.line
+                );
+            }
         }
         let notes = self.count(Severity::Note);
         if notes > 0 && !verbose {
@@ -123,11 +141,11 @@ impl Report {
         out
     }
 
-    /// Render the `xtsim-lint-v1` JSON document.
+    /// Render the `xtsim-lint-v2` JSON document.
     pub fn json(&self) -> String {
         let mut w = JsonWriter::new();
         w.open_obj();
-        w.field_str("schema", "xtsim-lint-v1");
+        w.field_str("schema", "xtsim-lint-v2");
         w.field_str("root", &self.root);
         w.field_num("files_scanned", self.files_scanned as f64);
         w.key("findings");
@@ -204,12 +222,13 @@ impl Report {
                 file: f.file.clone(),
                 rule: f.rule.to_string(),
                 snippet: f.snippet.clone(),
+                function: f.chain.first().map(|h| h.function.clone()),
             })
             .collect();
         entries.sort();
         let mut w = JsonWriter::new();
         w.open_obj();
-        w.field_str("schema", "xtsim-lint-baseline-v1");
+        w.field_str("schema", "xtsim-lint-baseline-v2");
         w.key("findings");
         w.open_arr();
         for e in &entries {
@@ -217,6 +236,9 @@ impl Report {
             w.field_str("file", &e.file);
             w.field_str("rule", &e.rule);
             w.field_str("snippet", &e.snippet);
+            if let Some(func) = &e.function {
+                w.field_str("function", func);
+            }
             w.close_obj();
         }
         w.close_arr();
@@ -240,14 +262,85 @@ fn finding_fields(w: &mut JsonWriter, f: &Finding) {
     w.field_str("message", &f.message);
     w.field_str("suggestion", &f.suggestion);
     w.field_str("snippet", &f.snippet);
+    w.key("chain");
+    w.open_arr();
+    for h in &f.chain {
+        w.open_obj();
+        w.field_str("function", &h.function);
+        w.field_str("file", &h.file);
+        w.field_num("line", h.line as f64);
+        w.close_obj();
+    }
+    w.close_arr();
 }
 
-/// Parse `lint-baseline.json`.
+/// Render the `--call-graph` artifact (`xtsim-callgraph-v1`): every function
+/// the parser indexed, its resolved edges (by function id), the unresolved
+/// calls with their reasons, and honesty counters for what resolution
+/// skipped.
+pub fn callgraph_json(g: &CallGraph) -> String {
+    let mut w = JsonWriter::new();
+    w.open_obj();
+    w.field_str("schema", "xtsim-callgraph-v1");
+    w.key("functions");
+    w.open_arr();
+    for (i, f) in g.fns.iter().enumerate() {
+        w.open_obj();
+        w.field_num("id", i as f64);
+        w.field_str("function", &f.display());
+        w.field_str("module", &f.module.join("::"));
+        w.field_str("file", &f.file);
+        w.field_num("line", f.line as f64);
+        w.key("calls");
+        w.open_arr();
+        for e in &g.edges[i] {
+            w.open_obj();
+            w.field_num("to", e.to as f64);
+            w.field_num("line", e.line as f64);
+            w.close_obj();
+        }
+        w.close_arr();
+        w.close_obj();
+    }
+    w.close_arr();
+    w.key("unresolved");
+    w.open_arr();
+    for u in &g.unresolved {
+        w.open_obj();
+        w.field_num("from", u.from as f64);
+        w.field_str("name", &u.name);
+        w.field_num("line", u.line as f64);
+        w.field_str("reason", &u.reason);
+        w.close_obj();
+    }
+    w.close_arr();
+    w.key("stats");
+    w.open_obj();
+    w.field_num("functions", g.fns.len() as f64);
+    w.field_num(
+        "edges",
+        g.edges.iter().map(Vec::len).sum::<usize>() as f64,
+    );
+    w.field_num("unresolved", g.unresolved.len() as f64);
+    w.field_num("external_calls", g.external_calls as f64);
+    w.field_num(
+        "denylisted_method_calls",
+        g.denylisted_method_calls as f64,
+    );
+    w.close_obj();
+    w.close_obj();
+    w.finish()
+}
+
+/// Parse `lint-baseline.json`. Both the current `xtsim-lint-baseline-v2`
+/// format and the legacy v1 format are accepted; v1 entries simply carry no
+/// `function` key (they predate the interprocedural rules, whose findings
+/// are the only ones that set it).
 pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
     let value = json_parse(text)?;
     let obj = value.as_obj().ok_or("baseline root must be an object")?;
     match obj.get("schema").and_then(JsonValue::as_str) {
-        Some("xtsim-lint-baseline-v1") => {}
+        Some("xtsim-lint-baseline-v1" | "xtsim-lint-baseline-v2") => {}
         other => return Err(format!("unsupported baseline schema {other:?}")),
     }
     let findings = obj
@@ -267,6 +360,7 @@ pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
             file: get("file")?,
             rule: get("rule")?,
             snippet: get("snippet")?,
+            function: f.get("function").and_then(JsonValue::as_str).map(str::to_string),
         });
     }
     Ok(out)
@@ -576,6 +670,7 @@ mod tests {
             message: "m".into(),
             suggestion: "s".into(),
             snippet: "let x = v.pop().expect(\"non-empty\");".into(),
+            chain: Vec::new(),
         });
         let text = report.baseline_json();
         let entries = parse_baseline(&text).unwrap();
@@ -583,6 +678,41 @@ mod tests {
         assert_eq!(entries[0].file, "crates/x/src/a.rs");
         assert_eq!(entries[0].rule, "panic-in-hot-path");
         assert_eq!(entries[0].snippet, "let x = v.pop().expect(\"non-empty\");");
+        assert_eq!(entries[0].function, None);
+    }
+
+    #[test]
+    fn baseline_v1_still_parses() {
+        let v1 = r#"{"schema": "xtsim-lint-baseline-v1", "findings": [
+            {"file": "a.rs", "rule": "panic-in-hot-path", "snippet": "x.unwrap();"}
+        ]}"#;
+        let entries = parse_baseline(v1).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].function, None);
+    }
+
+    #[test]
+    fn baseline_v2_function_roundtrips() {
+        let mut report = Report::default();
+        report.findings.push(Finding {
+            file: "crates/x/src/a.rs".into(),
+            line: 3,
+            col: 9,
+            rule: "panic-propagation",
+            severity: Severity::Warn,
+            message: "m".into(),
+            suggestion: "s".into(),
+            snippet: "fn dispatch(&mut self) {".into(),
+            chain: vec![crate::rules::ChainHop {
+                function: "Engine::dispatch".into(),
+                file: "crates/x/src/a.rs".into(),
+                line: 4,
+            }],
+        });
+        let text = report.baseline_json();
+        assert!(text.contains("xtsim-lint-baseline-v2"));
+        let entries = parse_baseline(&text).unwrap();
+        assert_eq!(entries[0].function.as_deref(), Some("Engine::dispatch"));
     }
 
     #[test]

@@ -38,6 +38,14 @@ pub mod rule_id {
     pub const THREAD_SHARED_MUT: &str = "thread-shared-mut";
     /// An allow comment that suppressed nothing.
     pub const UNUSED_ALLOW: &str = "unused-allow";
+    /// A sim-crate function reaching wallclock/ambient-RNG through calls.
+    pub const TRANSITIVE_TAINT: &str = "transitive-taint";
+    /// A cycle in the lock acquisition-order graph.
+    pub const LOCK_ORDER_CYCLE: &str = "lock-order-cycle";
+    /// A hot-path function calling a may-panic function outside hot files.
+    pub const PANIC_PROPAGATION: &str = "panic-propagation";
+    /// A std sync lock/Condvar wait reachable from a `fn poll` body.
+    pub const BLOCKING_IN_POLL: &str = "blocking-in-poll";
 }
 
 /// Finding severity. `Note` is informational and never fails the run;
@@ -60,6 +68,16 @@ impl Severity {
     }
 }
 
+/// One hop of an interprocedural call chain: `function` (at `file`) does
+/// the next step of the chain at `line` — a call for intermediate hops, the
+/// offending token itself for the terminal hop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainHop {
+    pub function: String,
+    pub file: String,
+    pub line: u32,
+}
+
 /// One diagnostic.
 #[derive(Debug, Clone)]
 pub struct Finding {
@@ -74,6 +92,9 @@ pub struct Finding {
     /// The trimmed source line — the baseline key component that survives
     /// line-number drift.
     pub snippet: String,
+    /// Interprocedural rules attach the witness call chain (first hop is the
+    /// flagged function); token rules leave it empty.
+    pub chain: Vec<ChainHop>,
 }
 
 /// A parsed `// xtsim-lint: allow(rule, "reason")` comment.
@@ -177,6 +198,7 @@ impl<'a> FileContext<'a> {
             message,
             suggestion: suggestion.to_string(),
             snippet: self.snippet(t.line),
+            chain: Vec::new(),
         }
     }
 }
@@ -284,6 +306,7 @@ fn malformed_allow_comments(ctx: &FileContext, out: &mut Vec<Finding>) {
                 message: format!("unparseable xtsim-lint comment: {why}"),
                 suggestion: "write `// xtsim-lint: allow(<rule-id>, \"<why>\")`".to_string(),
                 snippet: ctx.snippet(t.line),
+                chain: Vec::new(),
             });
         }
     }
@@ -667,7 +690,8 @@ fn wallclock_in_sim(ctx: &FileContext, cfg: &Config, out: &mut Vec<Finding>) {
 // ---------------------------------------------------------------------------
 // ambient-rng
 
-const AMBIENT_RNG_IDENTS: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "from_os_rng"];
+pub(crate) const AMBIENT_RNG_IDENTS: [&str; 4] =
+    ["thread_rng", "from_entropy", "OsRng", "from_os_rng"];
 
 fn ambient_rng(ctx: &FileContext, cfg: &Config, out: &mut Vec<Finding>) {
     if cfg.rule_allows(rule_id::AMBIENT_RNG, ctx.path) {
@@ -790,7 +814,7 @@ fn check_stmt_borrows(ctx: &FileContext, start: usize, end: usize, out: &mut Vec
 /// Full dotted receiver path before the `.` at code index `dot`, including
 /// index expressions so `engines[a]` and `engines[b]` stay distinct:
 /// `self.world.engines[self.rank]`.
-fn receiver_path(ctx: &FileContext, dot: usize) -> Option<String> {
+pub(crate) fn receiver_path(ctx: &FileContext, dot: usize) -> Option<String> {
     let mut parts: Vec<String> = Vec::new();
     let mut j = dot.checked_sub(1)?;
     loop {

@@ -1,0 +1,25 @@
+#![forbid(unsafe_code)]
+//! The v2 baseline reader must keep accepting v1 baselines: a repo pinned
+//! to an old committed baseline upgrades the tool without churn. The
+//! committed sample (`tests/data/baseline-v1-sample.json`) is also run
+//! through the binary by `scripts/ci.sh`, where its two
+//! matching-nothing entries must both surface as stale.
+
+use std::path::PathBuf;
+
+use xtsim_lint::report::parse_baseline;
+
+#[test]
+fn committed_v1_sample_parses_without_function_keys() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/baseline-v1-sample.json");
+    let text = std::fs::read_to_string(&path).expect("read committed v1 sample");
+    let entries = parse_baseline(&text).expect("v1 baseline parses under the v2 reader");
+    assert_eq!(entries.len(), 2, "sample holds exactly two entries");
+    for e in &entries {
+        assert!(
+            e.function.is_none(),
+            "v1 entries predate per-function keys: {e:?}"
+        );
+        assert!(!e.file.is_empty() && !e.rule.is_empty() && !e.snippet.is_empty());
+    }
+}

@@ -1,0 +1,20 @@
+//! A hand-rolled future (fixture: inside `poll_paths` scope).
+
+pub struct Drain {
+    pub ready: bool,
+}
+
+impl Drain {
+    /// Positive: reaches the queue mutex while polling.
+    pub fn poll(&mut self) -> bool {
+        if self.ready {
+            return true;
+        }
+        drain_queue()
+    }
+
+    /// Negative: not named `poll`, never flagged.
+    pub fn is_ready(&self) -> bool {
+        self.ready
+    }
+}

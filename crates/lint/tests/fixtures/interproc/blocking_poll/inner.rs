@@ -1,0 +1,11 @@
+//! Queue internals (fixture: outside `poll_paths`; the mutex itself is
+//! legitimate — taking it from a poll body is the bug).
+
+use std::sync::Mutex;
+
+static QUEUE: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+
+pub fn drain_queue() -> bool {
+    let mut q = QUEUE.lock().unwrap();
+    q.pop().is_some()
+}

@@ -1,0 +1,37 @@
+//! Two mutexes taken in both orders (fixture: deadlock-capable cycle with
+//! one direct witness and one behind a call).
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    /// One direction: alpha held, then beta, directly.
+    pub fn forward(&self) -> u64 {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        *a + *b
+    }
+
+    /// Other direction: beta held, alpha acquired behind a call.
+    pub fn backward(&self) -> u64 {
+        let b = self.beta.lock().unwrap();
+        *b + self.bump_alpha()
+    }
+
+    fn bump_alpha(&self) -> u64 {
+        let mut a = self.alpha.lock().unwrap();
+        *a += 1;
+        *a
+    }
+
+    /// Negative: same fixed order as `forward` — no new edge direction.
+    pub fn forward_again(&self) -> u64 {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        *a * *b
+    }
+}

@@ -1,0 +1,11 @@
+//! Event dispatch (fixture: inside `hot_paths` scope).
+
+/// Positive: leaves the hot set and reaches a panic in support.rs.
+pub fn dispatch(ev: u32) -> u32 {
+    decode(ev)
+}
+
+/// Negative: the checked helper cannot panic.
+pub fn dispatch_checked(ev: u32) -> u32 {
+    decode_checked(ev).unwrap_or(0)
+}

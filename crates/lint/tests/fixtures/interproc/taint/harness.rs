@@ -1,0 +1,23 @@
+//! Measurement harness (fixture: outside `sim_crates` — a taint *source*,
+//! not itself a finding).
+
+use std::time::Instant;
+
+/// Wall-clock epoch stamp; tainted for sim callers.
+pub fn stamp_epoch() -> u64 {
+    now_ns()
+}
+
+fn now_ns() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64
+}
+
+/// Clean helper: arithmetic only.
+pub fn decimal_width(mut v: u64) -> u64 {
+    let mut w = 1;
+    while v >= 10 {
+        v /= 10;
+        w += 1;
+    }
+    w
+}

@@ -1,0 +1,21 @@
+//! Sim-side epoch bookkeeping (fixture: inside `sim_crates` scope).
+
+pub struct Epoch(u64);
+
+impl Epoch {
+    /// Positive: reaches the wall clock through the harness helpers.
+    pub fn advance_epoch(&mut self) -> u64 {
+        self.0 += 1;
+        stamp_epoch()
+    }
+
+    // xtsim-lint: allow(transitive-taint, "epoch stamps feed the run log, not sim state")
+    pub fn log_epoch(&self) -> u64 {
+        stamp_epoch()
+    }
+
+    /// Negative: a pure helper keeps this function clean.
+    pub fn width(&self) -> u64 {
+        decimal_width(self.0)
+    }
+}

@@ -1,0 +1,184 @@
+#![forbid(unsafe_code)]
+//! Golden tests for the interprocedural rules: each scenario directory under
+//! `tests/fixtures/interproc/` holds a small multi-file "workspace" whose
+//! analysis (via [`xtsim_lint::analyze_sources`], which runs the call-graph
+//! pass the per-file `scan_source` cannot) must match
+//! `tests/fixtures/expected/interproc_<scenario>.txt` byte-for-byte,
+//! including every witness chain.
+//!
+//! Regenerate goldens after an intentional rule change with:
+//!
+//! ```text
+//! UPDATE_FIXTURES=1 cargo test -p xtsim-lint --test interproc_fixtures
+//! ```
+
+use std::path::PathBuf;
+
+use xtsim_lint::analyze_sources;
+use xtsim_lint::config::Config;
+use xtsim_lint::report::SuppressedHow;
+use xtsim_lint::rules::rule_id;
+
+/// Scope config for the scenarios; self-contained so goldens don't move when
+/// the workspace `lint.toml` does. Each scenario exercises exactly one scope.
+/// The harness file is wallclock-allowlisted to mirror the real workspace
+/// setup — the allowlist excuses reading the clock *there*, but the file
+/// still seeds the taint analysis (path allowlists never un-seed facts).
+const INTERPROC_CONFIG: &str = r#"[lint]
+sim_crates = ["fixtures/interproc/taint/sim.rs"]
+hot_paths = ["fixtures/interproc/panic_prop/hot.rs"]
+poll_paths = ["fixtures/interproc/blocking_poll/future.rs"]
+
+[allow.wallclock-in-sim]
+paths = ["fixtures/interproc/taint/harness.rs"]
+"#;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Load one scenario's sources, `(workspace-relative path, text)`, sorted by
+/// file name for deterministic analysis order.
+fn scenario_sources(scenario: &str) -> Vec<(String, String)> {
+    let dir = fixture_dir().join("interproc").join(scenario);
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .map(|entry| entry.expect("dir entry").file_name().into_string().expect("utf-8 name"))
+        .filter(|n| n.ends_with(".rs"))
+        .collect();
+    names.sort();
+    names
+        .into_iter()
+        .map(|n| {
+            let src = std::fs::read_to_string(dir.join(&n)).expect("read fixture source");
+            (format!("fixtures/interproc/{scenario}/{n}"), src)
+        })
+        .collect()
+}
+
+/// Render a scenario's analysis in a stable, diff-friendly form: every
+/// finding with its full witness chain, then every suppressed finding.
+fn render(scenario: &str) -> String {
+    let cfg = Config::parse(INTERPROC_CONFIG).expect("fixture config parses");
+    let sources = scenario_sources(scenario);
+    let (files, _graph) = analyze_sources(&sources, &cfg);
+    let mut out = String::new();
+    for fa in &files {
+        for f in &fa.findings {
+            out.push_str(&format!(
+                "{}:{}:{} {} {}\n",
+                f.file,
+                f.line,
+                f.col,
+                f.severity.as_str(),
+                f.rule
+            ));
+            for (i, h) in f.chain.iter().enumerate() {
+                out.push_str(&format!(
+                    "  chain[{i}]: {} ({}:{})\n",
+                    h.function, h.file, h.line
+                ));
+            }
+        }
+        for s in &fa.suppressed {
+            let how = match &s.how {
+                SuppressedHow::Allow { reason } => format!("allow(\"{reason}\")"),
+                SuppressedHow::Baseline => "baseline".to_string(),
+            };
+            out.push_str(&format!(
+                "{}:{}:{} suppressed {} by {}\n",
+                s.finding.file, s.finding.line, s.finding.col, s.finding.rule, how
+            ));
+        }
+    }
+    out
+}
+
+fn check_scenario(scenario: &str) {
+    let got = render(scenario);
+    let expected_path = fixture_dir()
+        .join("expected")
+        .join(format!("interproc_{scenario}.txt"));
+    if std::env::var_os("UPDATE_FIXTURES").is_some() {
+        std::fs::create_dir_all(expected_path.parent().expect("expected dir"))
+            .expect("create expected dir");
+        std::fs::write(&expected_path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&expected_path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run UPDATE_FIXTURES=1 cargo test -p xtsim-lint --test interproc_fixtures",
+            expected_path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "scenario {scenario} diagnostics drifted from {}",
+        expected_path.display()
+    );
+}
+
+#[test]
+fn taint_scenario() {
+    check_scenario("taint");
+}
+
+#[test]
+fn panic_prop_scenario() {
+    check_scenario("panic_prop");
+}
+
+#[test]
+fn blocking_poll_scenario() {
+    check_scenario("blocking_poll");
+}
+
+#[test]
+fn lock_cycle_scenario() {
+    check_scenario("lock_cycle");
+}
+
+/// The lock-cycle finding must carry *both* witness paths: the direct
+/// alpha→beta ordering and the beta→alpha ordering behind a call.
+#[test]
+fn lock_cycle_reports_both_witness_paths() {
+    let cfg = Config::parse(INTERPROC_CONFIG).expect("fixture config parses");
+    let sources = scenario_sources("lock_cycle");
+    let (files, _graph) = analyze_sources(&sources, &cfg);
+    let cycle: Vec<_> = files
+        .iter()
+        .flat_map(|fa| fa.findings.iter())
+        .filter(|f| f.rule == rule_id::LOCK_ORDER_CYCLE)
+        .collect();
+    assert_eq!(cycle.len(), 1, "exactly one cycle component expected");
+    let msg = &cycle[0].message;
+    assert!(
+        msg.contains("holds `locks:alpha`") && msg.contains("then acquires `locks:beta`"),
+        "missing alpha-then-beta witness in: {msg}"
+    );
+    assert!(
+        msg.contains("holds `locks:beta`") && msg.contains("acquires `locks:alpha` via call"),
+        "missing beta-then-alpha (via-call) witness in: {msg}"
+    );
+}
+
+/// Every scenario produces at least one unsuppressed interprocedural
+/// finding — i.e. the goldens aren't vacuously empty.
+#[test]
+fn scenarios_have_positive_findings() {
+    let cfg = Config::parse(INTERPROC_CONFIG).expect("fixture config parses");
+    for (scenario, rule) in [
+        ("taint", rule_id::TRANSITIVE_TAINT),
+        ("panic_prop", rule_id::PANIC_PROPAGATION),
+        ("blocking_poll", rule_id::BLOCKING_IN_POLL),
+        ("lock_cycle", rule_id::LOCK_ORDER_CYCLE),
+    ] {
+        let sources = scenario_sources(scenario);
+        let (files, _graph) = analyze_sources(&sources, &cfg);
+        let hit = files
+            .iter()
+            .flat_map(|fa| fa.findings.iter())
+            .any(|f| f.rule == rule);
+        assert!(hit, "{scenario}: expected a {rule} finding");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests: the lexer and the structural parser must never panic,
+//! whatever bytes land in a `.rs` file. The lint runs over the whole
+//! workspace in CI, so a crash on weird-but-valid UTF-8 (or on Rust-ish
+//! fragment soup that confuses the recursive descent) would take the build
+//! down with it. These tests don't check *what* is produced — only that
+//! something is, without panicking.
+
+use proptest::prelude::*;
+use xtsim_lint::config::Config;
+use xtsim_lint::lexer;
+use xtsim_lint::parser;
+use xtsim_lint::rules::FileContext;
+
+fn lint_config() -> Config {
+    Config::parse("[lint]\n").expect("minimal config parses")
+}
+
+/// Run the full per-file front half of the pipeline on `src`: lex, annotate,
+/// parse declarations. Returns counts so the optimizer can't discard the work.
+fn lex_and_parse(src: &str) -> (usize, usize) {
+    let tokens = lexer::lex(src);
+    let cfg = lint_config();
+    let ctx = FileContext::new("prop/fuzz.rs", src, &cfg);
+    let decls = parser::parse_file(&ctx);
+    (tokens.len(), decls.len())
+}
+
+/// Arbitrary UTF-8: a vector of candidate code points, keeping only the
+/// valid ones (the shim has no string strategy, so strings are built by
+/// hand). Surrogates and out-of-range values are dropped by `from_u32`.
+fn utf8_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u32..0x11_0000u32, 0..400)
+        .prop_map(|cps| cps.into_iter().filter_map(char::from_u32).collect())
+}
+
+/// Rust-flavoured fragment soup: sequences drawn from a table of tokens the
+/// parser specifically dispatches on — unbalanced braces, stray `fn`, `impl`
+/// without a type, generics cut mid-angle, lock calls, allow comments.
+const FRAGMENTS: &[&str] = &[
+    "fn ",
+    "impl ",
+    "for ",
+    "self",
+    "Self::",
+    "pub ",
+    "mod m",
+    "{",
+    "}",
+    "(",
+    ")",
+    "<",
+    ">",
+    "::",
+    ".",
+    ";",
+    ",",
+    "->",
+    "=>",
+    "x",
+    "poll",
+    "lock()",
+    ".lock().unwrap()",
+    "Instant::now()",
+    "rand::random()",
+    "panic!(\"boom\")",
+    "unreachable!()",
+    "#[cfg(test)]",
+    "#[test]",
+    "// xtsim-lint: allow(wallclock-in-sim, \"why\")",
+    "/* unterminated",
+    "\"unterminated string",
+    "r#\"raw\"#",
+    "b'\\x7f'",
+    "'\u{3bb}'",
+    "async ",
+    "unsafe ",
+    "where T: ",
+    "let g = a.lock().unwrap();",
+    "std::thread::sleep(d)",
+    "\n",
+];
+
+fn fragment_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..FRAGMENTS.len(), 0..120)
+        .prop_map(|ix| ix.into_iter().map(|i| FRAGMENTS[i]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexer_and_parser_survive_arbitrary_utf8(src in utf8_soup()) {
+        let (toks, decls) = lex_and_parse(&src);
+        // Nothing to assert beyond "we got here"; keep the values alive.
+        prop_assert!(toks <= src.len() + 1);
+        prop_assert!(decls <= toks + 1);
+    }
+
+    #[test]
+    fn lexer_and_parser_survive_rust_fragment_soup(src in fragment_soup()) {
+        let (toks, decls) = lex_and_parse(&src);
+        prop_assert!(toks <= src.len() + 1);
+        prop_assert!(decls <= toks + 1);
+    }
+}

@@ -14,27 +14,74 @@ cd "$(dirname "$0")/.."
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== xtsim-lint (determinism & DES-safety, deny warnings) =="
+echo "== xtsim-lint (determinism & DES-safety, deny warnings, time budget) =="
 out="$(mktemp -d)"
-cargo run --release -p xtsim-lint -- \
-    --workspace --deny warnings --json "$out/lint.json"
-# The machine output must keep the documented shape and agree with the
-# committed baseline: no errors, no un-baselined warnings, no stale entries.
-python3 - "$out/lint.json" <<'EOF'
+cargo build --release -p xtsim-lint
+# Wall-time budget: the structural pass (item parse + call graph + four
+# interprocedural rules) must stay interactive. 10s is ~20x the observed
+# cost on this container — the gate catches accidental quadratic blowups,
+# not load jitter.
+lint_start_ns="$(date +%s%N)"
+target/release/xtsim-lint \
+    --workspace --deny warnings --json "$out/lint.json" \
+    --call-graph "$out/callgraph.json"
+lint_ms=$(( ($(date +%s%N) - lint_start_ns) / 1000000 ))
+echo "lint wall time: ${lint_ms} ms"
+if [ "$lint_ms" -gt 10000 ]; then
+    echo "xtsim-lint exceeded its 10s wall-time budget (${lint_ms} ms)"; exit 1
+fi
+# The machine outputs must keep the documented shapes and agree with the
+# committed baseline: no errors, no un-baselined warnings, no stale
+# entries; interprocedural findings carry witness chains; the call-graph
+# artifact is internally consistent.
+python3 - "$out/lint.json" "$out/callgraph.json" <<'EOF'
 import json, sys
 rec = json.load(open(sys.argv[1]))
-assert rec["schema"] == "xtsim-lint-v1", f"bad schema: {rec.get('schema')}"
+assert rec["schema"] == "xtsim-lint-v2", f"bad schema: {rec.get('schema')}"
 assert rec["files_scanned"] > 50, "scanned suspiciously few files"
 s = rec["summary"]
 assert s["errors"] == 0, f"lint errors: {s['errors']}"
 assert s["warnings"] == 0, f"un-baselined lint warnings: {s['warnings']}"
 assert s["stale_baseline"] == 0, f"stale baseline entries: {s['stale_baseline']}"
+interproc = {"transitive-taint", "lock-order-cycle", "panic-propagation", "blocking-in-poll"}
 for f in rec["findings"]:
-    assert {"file", "line", "col", "rule", "severity"} <= f.keys(), f"finding missing keys: {f}"
+    assert {"file", "line", "col", "rule", "severity", "chain"} <= f.keys(), f"finding missing keys: {f}"
+    if f["rule"] in interproc:
+        assert f["chain"], f"interprocedural finding without a witness chain: {f}"
+    for hop in f["chain"]:
+        assert {"function", "file", "line"} <= hop.keys(), f"bad chain hop: {hop}"
 assert isinstance(rec["unsafe_inventory"], dict)
 assert set(rec["unsafe_inventory"]) == {"crates/des"}, (
     f"unsafe crept into a new crate: {sorted(rec['unsafe_inventory'])}"
 )
+
+g = json.load(open(sys.argv[2]))
+assert g["schema"] == "xtsim-callgraph-v1", f"bad callgraph schema: {g.get('schema')}"
+st = g["stats"]
+assert st["functions"] == len(g["functions"]) > 100, st
+assert st["unresolved"] == len(g["unresolved"]), st
+assert st["edges"] == sum(len(f["calls"]) for f in g["functions"]), st
+assert st["edges"] > 50, "call graph resolved suspiciously few edges"
+ids = {f["id"] for f in g["functions"]}
+for f in g["functions"]:
+    assert {"id", "function", "module", "file", "line", "calls"} <= f.keys(), f
+    for c in f["calls"]:
+        assert c["to"] in ids, f"dangling edge {f['function']} -> {c['to']}"
+for u in g["unresolved"]:
+    assert {"from", "name", "line", "reason"} <= u.keys(), u
+EOF
+# The v2 reader must keep accepting v1 baselines end-to-end: run against a
+# committed v1 sample whose two entries match nothing, so both must come
+# back stale (proving they were parsed), without --deny so stale entries
+# don't fail this probe run.
+target/release/xtsim-lint --workspace \
+    --baseline crates/lint/tests/data/baseline-v1-sample.json \
+    --json "$out/lint-v1.json" >/dev/null
+python3 - "$out/lint-v1.json" <<'EOF'
+import json, sys
+rec = json.load(open(sys.argv[1]))
+s = rec["summary"]
+assert s["stale_baseline"] == 2, f"v1 sample: expected both entries stale, got {s['stale_baseline']}"
 EOF
 rm -rf "$out"
 
